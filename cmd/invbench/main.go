@@ -1,0 +1,33 @@
+// Command invbench regenerates the paper's inverted-file evaluation:
+//
+//	Table 4    — PFOR-DELTA vs carryover-12 vs shuff on five collections
+//	-equilibrium — the Section 5 computation: measure the top-N query's
+//	               bandwidth Q, derive the equilibrium decompression
+//	               bandwidth C = target*Q/(Q-target), and check which
+//	               codecs accelerate the query on a 350MB/s RAID
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table4 := flag.Bool("table4", false, "run Table 4 only")
+	equilibrium := flag.Bool("equilibrium", false, "run the Section 5 equilibrium experiment only")
+	postings := flag.Int("postings", 0, "cap postings per collection (0 = profile default)")
+	raid := flag.Float64("raid", 0, "RAID bandwidth MB/s for the equilibrium experiment (0 = 60% of measured Q, the paper's ratio)")
+	flag.Parse()
+
+	all := !(*table4 || *equilibrium)
+	w := os.Stdout
+
+	if all || *table4 {
+		experiments.Table4(w, *postings)
+	}
+	if all || *equilibrium {
+		experiments.Equilibrium(w, *raid)
+	}
+}

@@ -1,0 +1,50 @@
+// Command microbench regenerates the paper's micro-benchmark figures:
+//
+//	Figure 2 — compression algorithm comparison on TPC-H columns
+//	Figure 4 — decompression bandwidth & branch miss rate vs exception rate
+//	Figure 5 — compression bandwidth: NAIVE vs PRED vs DC
+//	Figure 6 — compulsory exceptions E'(E) for small bit widths
+//	Figure 7 — I/O-RAM vs RAM-CPU cache decompression
+//
+// Run with no flags to produce everything, or select figures individually.
+package main
+
+import (
+	"flag"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig2 := flag.Bool("fig2", false, "run Figure 2 only")
+	fig4 := flag.Bool("fig4", false, "run Figure 4 only")
+	fig5 := flag.Bool("fig5", false, "run Figure 5 only")
+	fig6 := flag.Bool("fig6", false, "run Figure 6 only")
+	fig7 := flag.Bool("fig7", false, "run Figure 7 only")
+	n := flag.Int("n", 1<<20, "values per micro-benchmark run")
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor for Figure 2")
+	budget := flag.Duration("budget", 100*time.Millisecond, "timing budget per measurement")
+	flag.Parse()
+
+	experiments.Budget = *budget
+	all := !(*fig2 || *fig4 || *fig5 || *fig6 || *fig7)
+	w := os.Stdout
+
+	if all || *fig2 {
+		experiments.Fig2(w, *sf)
+	}
+	if all || *fig4 {
+		experiments.Fig4(w, *n)
+	}
+	if all || *fig5 {
+		experiments.Fig5(w, *n)
+	}
+	if all || *fig6 {
+		experiments.Fig6(w, *n)
+	}
+	if all || *fig7 {
+		experiments.Fig7(w, *n)
+	}
+}

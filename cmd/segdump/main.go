@@ -1,0 +1,106 @@
+// Command segdump inspects a serialized compressed segment (the Figure-3
+// layout produced by internal/segment): header fields, section sizes,
+// per-group exception statistics. Useful when debugging storage files.
+//
+// With no arguments it generates a demo segment and dumps it; pass a file
+// path to dump a segment from disk, with -t choosing the element type.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+func main() {
+	elem := flag.String("t", "int64", "element type: int8|int16|int32|int64")
+	flag.Parse()
+
+	var buf []byte
+	if flag.NArg() >= 1 {
+		var err error
+		buf, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("(no file given: dumping a generated demo segment)")
+		rng := rand.New(rand.NewSource(1))
+		vals := make([]int64, 10_000)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+			if rng.Intn(25) == 0 {
+				vals[i] = rng.Int63()
+			}
+		}
+		buf = segment.Marshal(core.CompressPFOR(vals, 0, 10))
+		*elem = "int64"
+	}
+
+	switch *elem {
+	case "int8":
+		dump[int8](buf)
+	case "int16":
+		dump[int16](buf)
+	case "int32":
+		dump[int32](buf)
+	case "int64":
+		dump[int64](buf)
+	default:
+		log.Fatalf("unknown element type %q", *elem)
+	}
+}
+
+func dump[T core.Integer](buf []byte) {
+	if !segment.IsCompressed(buf) {
+		vals, err := segment.UnmarshalRaw[T](buf)
+		if err != nil {
+			log.Fatalf("not a valid segment: %v", err)
+		}
+		fmt.Printf("raw (uncompressed) segment: %d values, %d bytes\n", len(vals), len(buf))
+		return
+	}
+	blk, err := segment.Unmarshal[T](buf)
+	if err != nil {
+		log.Fatalf("corrupt segment: %v", err)
+	}
+	fmt.Printf("scheme:        %v\n", blk.Scheme)
+	fmt.Printf("bit width:     %d\n", blk.B)
+	fmt.Printf("values:        %d (%d groups of %d)\n", blk.N, blk.NumGroups(), core.GroupSize)
+	fmt.Printf("base:          %v   delta base: %v\n", blk.Base, blk.DeltaBase)
+	if blk.DictLen > 0 {
+		fmt.Printf("dictionary:    %d entries\n", blk.DictLen)
+	}
+	fmt.Printf("exceptions:    %d (E' = %.4f)\n", blk.ExceptionCount(), blk.ExceptionRate())
+	fmt.Printf("sizes:         segment %d B, codes %d B, ratio %.2fx\n",
+		len(buf), len(blk.Codes)*4, blk.Ratio())
+
+	// Exception distribution across groups, derived from the entry words.
+	var maxExc, groupsWithExc int
+	for g := 0; g < blk.NumGroups(); g++ {
+		n := groupExcCount(blk, g)
+		if n > maxExc {
+			maxExc = n
+		}
+		if n > 0 {
+			groupsWithExc++
+		}
+	}
+	fmt.Printf("groups w/ exc: %d of %d (max %d exceptions in one group)\n",
+		groupsWithExc, blk.NumGroups(), maxExc)
+}
+
+// groupExcCount derives a group's exception count from the entry words.
+func groupExcCount[T core.Integer](blk *core.Block[T], g int) int {
+	start := int(blk.Entries[g] >> 7)
+	end := len(blk.Exc)
+	if g+1 < len(blk.Entries) {
+		end = int(blk.Entries[g+1] >> 7)
+	}
+	return end - start
+}

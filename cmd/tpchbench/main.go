@@ -1,0 +1,48 @@
+// Command tpchbench regenerates the paper's TPC-H evaluation:
+//
+//	Table 1  — published hardware-cost table (context)
+//	Table 2  — per-query ratios, decompression speed, runtimes on two
+//	           simulated RAIDs, DSM and PAX, compressed and uncompressed
+//	Table 3  — page-wise vs vector-wise decompression (time + L2 misses)
+//	Figure 8 — per-query time split: decompression / other CPU / I/O stalls
+//
+// The scale factor defaults to 0.05 (75k orders, ~300k lineitems) so a full
+// run completes in minutes on a laptop; raise -sf for steadier numbers.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/columnbm"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 only")
+	table2 := flag.Bool("table2", false, "run Table 2 only")
+	table3 := flag.Bool("table3", false, "run Table 3 only")
+	fig8 := flag.Bool("fig8", false, "run Figure 8 only")
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	buf := flag.Int64("buf", 256<<20, "buffer pool bytes")
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *table3 || *fig8)
+	w := os.Stdout
+
+	if all || *table1 {
+		experiments.Table1(w)
+	}
+	if all || *table2 {
+		experiments.Table2(w, *sf, experiments.LowEndRAID, *buf)
+		experiments.Table2(w, *sf, experiments.MidEndRAID, *buf)
+	}
+	if all || *table3 {
+		experiments.Table3(w, *sf, experiments.MidEndRAID, *buf)
+	}
+	if all || *fig8 {
+		experiments.Fig8(w, *sf, experiments.LowEndRAID, columnbm.DSM, *buf)
+		experiments.Fig8(w, *sf, experiments.MidEndRAID, columnbm.DSM, *buf)
+		experiments.Fig8(w, *sf, experiments.MidEndRAID, columnbm.PAX, *buf)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Super-Scalar RAM-CPU
+// Cache Compression" (Zukowski, Héman, Nes, Boncz; ICDE 2006): the PFOR,
+// PFOR-DELTA and PDICT patched compression schemes, the ColumnBM storage
+// manager and vectorized execution engine they were evaluated in, the
+// baseline compressors the paper compares against, and harnesses that
+// regenerate every table and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The library lives under internal/; cmd/ holds the benchmark harnesses
+// and examples/ the runnable examples.
+package repro

@@ -1,0 +1,407 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- FOR ------------------------------------------------------------------
+
+func TestFORRoundTrip(t *testing.T) {
+	src := []int64{100, 105, 103, 100, 110, 101}
+	blk := CompressFOR(src)
+	if blk.Min != 100 {
+		t.Fatalf("min %d, want 100", blk.Min)
+	}
+	if blk.B != 4 {
+		t.Fatalf("width %d, want 4 (spread 10)", blk.B)
+	}
+	out := make([]int64, len(src))
+	blk.Decompress(out)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestFOREmptyAndConstant(t *testing.T) {
+	blk := CompressFOR(nil)
+	if blk.N != 0 {
+		t.Fatal("empty block")
+	}
+	src := []int64{7, 7, 7, 7}
+	blk = CompressFOR(src)
+	if blk.B != 0 {
+		t.Fatalf("constant column needs 0 bits, got %d", blk.B)
+	}
+	out := make([]int64, 4)
+	blk.Decompress(out)
+	for i := range src {
+		if out[i] != 7 {
+			t.Fatal("constant decode")
+		}
+	}
+}
+
+func TestFORVulnerableToOutliers(t *testing.T) {
+	// The motivating weakness: one outlier inflates every code.
+	tight := make([]int64, 1000)
+	for i := range tight {
+		tight[i] = int64(i % 16)
+	}
+	blkTight := CompressFOR(tight)
+	withOutlier := append(append([]int64{}, tight...), 1<<30)
+	blkOut := CompressFOR(withOutlier)
+	if blkOut.CompressedBytes() < 5*blkTight.CompressedBytes() {
+		t.Fatalf("one outlier should blow up FOR: %d vs %d bytes",
+			blkOut.CompressedBytes(), blkTight.CompressedBytes())
+	}
+}
+
+// --- PS ---------------------------------------------------------------------
+
+func TestPSRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 255, 256, 65535, 1 << 40, ^uint64(0)}
+	enc := PS{}.Encode(nil, vals)
+	if want := (PS{}).EncodedBytes(vals); len(enc) != want {
+		t.Fatalf("EncodedBytes %d != actual %d", want, len(enc))
+	}
+	out, err := PS{}.Decode(nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vals) {
+		t.Fatalf("got %d values", len(out))
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, out[i], vals[i])
+		}
+	}
+}
+
+func TestPSCompressesSmallValues(t *testing.T) {
+	vals := make([]uint64, 10_000)
+	for i := range vals {
+		vals[i] = uint64(i % 200) // one byte each
+	}
+	enc := PS{}.Encode(nil, vals)
+	// ~1 byte payload + 0.5 byte length per value.
+	if len(enc) > len(vals)*2 {
+		t.Fatalf("PS on 1-byte values took %d bytes for %d values", len(enc), len(vals))
+	}
+}
+
+func TestPSQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		enc := PS{}.Encode(nil, vals)
+		out, err := PS{}.Decode(nil, enc)
+		if err != nil || len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Dict -------------------------------------------------------------------
+
+func TestDictRoundTrip(t *testing.T) {
+	src := []int64{5, 9, 5, 5, 9, 12, 5}
+	blk, err := CompressDict(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Dict) != 3 {
+		t.Fatalf("dict size %d, want 3", len(blk.Dict))
+	}
+	out := make([]int64, len(src))
+	blk.Decompress(out)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+// --- byte codecs ------------------------------------------------------------
+
+func byteCodecs() []ByteCodec {
+	return []ByteCodec{LZRW1{}, LZW{}, Huffman{}, Flate{}}
+}
+
+func testInputs(rng *rand.Rand) map[string][]byte {
+	repetitive := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	random := make([]byte, 8192)
+	rng.Read(random)
+	skewed := make([]byte, 16384)
+	for i := range skewed {
+		if rng.Intn(10) == 0 {
+			skewed[i] = byte(rng.Intn(256))
+		} else {
+			skewed[i] = byte(rng.Intn(4))
+		}
+	}
+	runs := make([]byte, 4096)
+	for i := range runs {
+		runs[i] = byte(i / 100)
+	}
+	return map[string][]byte{
+		"empty":      {},
+		"single":     {42},
+		"repetitive": repetitive,
+		"random":     random,
+		"skewed":     skewed,
+		"runs":       runs,
+	}
+}
+
+func TestByteCodecsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for name, input := range testInputs(rng) {
+		for _, codec := range byteCodecs() {
+			enc := codec.Compress(nil, input)
+			dec, err := codec.Decompress(nil, enc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", codec.Name(), name, err)
+			}
+			if !bytes.Equal(dec, input) {
+				t.Fatalf("%s/%s: round-trip mismatch (%d vs %d bytes)", codec.Name(), name, len(dec), len(input))
+			}
+		}
+	}
+}
+
+func TestByteCodecsAppendSemantics(t *testing.T) {
+	// Compress/Decompress must append, not clobber.
+	prefix := []byte("prefix")
+	input := bytes.Repeat([]byte("ab"), 500)
+	for _, codec := range byteCodecs() {
+		enc := codec.Compress(append([]byte{}, prefix...), input)
+		if !bytes.HasPrefix(enc, prefix) {
+			t.Fatalf("%s: Compress clobbered dst", codec.Name())
+		}
+		dec, err := codec.Decompress(append([]byte{}, prefix...), enc[len(prefix):])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(dec, prefix) || !bytes.Equal(dec[len(prefix):], input) {
+			t.Fatalf("%s: Decompress clobbered dst", codec.Name())
+		}
+	}
+}
+
+func TestByteCodecsCompressCompressible(t *testing.T) {
+	input := bytes.Repeat([]byte("aaaabbbbccccdddd"), 1000)
+	for _, codec := range byteCodecs() {
+		enc := codec.Compress(nil, input)
+		if len(enc) >= len(input) {
+			t.Errorf("%s: repetitive input grew: %d -> %d", codec.Name(), len(input), len(enc))
+		}
+	}
+}
+
+func TestByteCodecsRejectCorrupt(t *testing.T) {
+	input := bytes.Repeat([]byte("hello world "), 100)
+	for _, codec := range byteCodecs() {
+		enc := codec.Compress(nil, input)
+		if _, err := codec.Decompress(nil, enc[:3]); err == nil {
+			t.Errorf("%s: truncated stream accepted", codec.Name())
+		}
+	}
+}
+
+func TestByteCodecsQuick(t *testing.T) {
+	for _, codec := range byteCodecs() {
+		codec := codec
+		f := func(input []byte) bool {
+			enc := codec.Compress(nil, input)
+			dec, err := codec.Decompress(nil, enc)
+			return err == nil && bytes.Equal(dec, input)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", codec.Name(), err)
+		}
+	}
+}
+
+func TestLZRW1FindsMatches(t *testing.T) {
+	// A long literal repeat must compress well below 50%.
+	input := bytes.Repeat([]byte("abcdefgh"), 512)
+	enc := LZRW1{}.Compress(nil, input)
+	if len(enc) > len(input)/3 {
+		t.Fatalf("lzrw1 on periodic input: %d -> %d", len(input), len(enc))
+	}
+}
+
+func TestHuffmanApproachesEntropy(t *testing.T) {
+	// Two symbols, 50/50: ~1 bit each, so ~8x compression.
+	rng := rand.New(rand.NewSource(62))
+	input := make([]byte, 32768)
+	for i := range input {
+		input[i] = byte(rng.Intn(2))
+	}
+	enc := Huffman{}.Compress(nil, input)
+	if len(enc) > len(input)/6 {
+		t.Fatalf("huffman on 1-bit-entropy bytes: %d -> %d", len(input), len(enc))
+	}
+}
+
+// --- int codecs ---------------------------------------------------------
+
+func intCodecs() []IntCodec {
+	return []IntCodec{Carryover12{}, VByte{}}
+}
+
+func gapData(rng *rand.Rand, n int, maxGap uint32) []uint32 {
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Uint32() % maxGap
+	}
+	return vals
+}
+
+func TestIntCodecsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	inputs := map[string][]uint32{
+		"empty":      {},
+		"single":     {12345},
+		"ones":       bytesOfOnes(5000),
+		"small gaps": gapData(rng, 10_000, 16),
+		"mixed gaps": gapData(rng, 10_000, 1<<20),
+		"max":        {MaxValue, 0, MaxValue, 1, MaxValue},
+	}
+	for name, input := range inputs {
+		for _, codec := range intCodecs() {
+			enc := codec.Encode(nil, input)
+			dec, rest, err := codec.Decode(nil, enc, len(input))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", codec.Name(), name, err)
+			}
+			if len(dec) != len(input) {
+				t.Fatalf("%s/%s: %d values", codec.Name(), name, len(dec))
+			}
+			for i := range input {
+				if dec[i] != input[i] {
+					t.Fatalf("%s/%s: mismatch at %d: %d != %d", codec.Name(), name, i, dec[i], input[i])
+				}
+			}
+			_ = rest
+		}
+	}
+}
+
+func bytesOfOnes(n int) []uint32 {
+	v := make([]uint32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestIntCodecsPartialDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	input := gapData(rng, 1000, 1<<12)
+	for _, codec := range intCodecs() {
+		enc := codec.Encode(nil, input)
+		for _, n := range []int{0, 1, 13, 500, 999} {
+			dec, _, err := codec.Decode(nil, enc, n)
+			if err != nil {
+				t.Fatalf("%s: partial %d: %v", codec.Name(), n, err)
+			}
+			for i := 0; i < n; i++ {
+				if dec[i] != input[i] {
+					t.Fatalf("%s: partial %d mismatch at %d", codec.Name(), n, i)
+				}
+			}
+		}
+		if _, _, err := codec.Decode(nil, enc, 1001); err == nil {
+			t.Fatalf("%s: decoding more than encoded must fail", codec.Name())
+		}
+	}
+}
+
+func TestCarryover12Density(t *testing.T) {
+	// 1-bit values should pack ~28-32 per word: < 1.3 bits/value.
+	input := bytesOfOnes(28_000)
+	enc := Carryover12{}.Encode(nil, input)
+	bitsPerVal := float64(len(enc)-4) * 8 / float64(len(input))
+	if bitsPerVal > 1.3 {
+		t.Fatalf("carryover-12 on 1-bit values: %.2f bits/value", bitsPerVal)
+	}
+}
+
+func TestCarryover12BeatsVByteOnSmallGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	input := gapData(rng, 50_000, 8)
+	co := Carryover12{}.Encode(nil, input)
+	vb := VByte{}.Encode(nil, input)
+	if len(co) >= len(vb) {
+		t.Fatalf("carryover-12 (%d B) should beat vbyte (%d B) on 3-bit gaps", len(co), len(vb))
+	}
+}
+
+func TestCarryover12RejectsOversized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for value > 28 bits")
+		}
+	}()
+	Carryover12{}.Encode(nil, []uint32{1 << 29})
+}
+
+func TestIntCodecsQuick(t *testing.T) {
+	for _, codec := range intCodecs() {
+		codec := codec
+		f := func(raw []uint32) bool {
+			vals := make([]uint32, len(raw))
+			for i, v := range raw {
+				vals[i] = v & MaxValue
+			}
+			enc := codec.Encode(nil, vals)
+			dec, _, err := codec.Decode(nil, enc, len(vals))
+			if err != nil || len(dec) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if dec[i] != vals[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", codec.Name(), err)
+		}
+	}
+}
+
+// --- delta helpers --------------------------------------------------------
+
+func TestDeltasPrefixSums(t *testing.T) {
+	positions := []uint32{3, 7, 8, 20, 21}
+	gaps := append([]uint32{}, positions...)
+	Deltas(gaps)
+	want := []uint32{3, 4, 1, 12, 1}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gap %d = %d, want %d", i, gaps[i], want[i])
+		}
+	}
+	PrefixSums(gaps)
+	for i := range positions {
+		if gaps[i] != positions[i] {
+			t.Fatalf("inverse failed at %d", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package baseline
+
+import "sort"
+
+// GapHuffman is a semi-static canonical Huffman coder over d-gap *values*
+// (not bytes): the form of "shuff" used for inverted files. Small gaps
+// (< 256) are direct symbols, so the coder approaches the entropy of the
+// dense head; larger gaps map to a bit-length bucket symbol followed by
+// the gap's raw low bits (Huffman-coded Elias-gamma, the standard
+// large-alphabet trick). Two passes (count, encode) make it semi-static;
+// the code lengths travel in the header.
+type GapHuffman struct{}
+
+// Name returns the codec name used in reports (Table 4's "shuff").
+func (GapHuffman) Name() string { return "shuff" }
+
+const (
+	gapHuffDirect  = 256 // direct symbols 0..255
+	gapHuffBuckets = 24  // bit lengths 9..32
+	gapHuffSymbols = gapHuffDirect + gapHuffBuckets
+)
+
+// gapSym maps a gap to its symbol and the count of raw low bits to emit.
+func gapSym(v uint32) (sym int, rawBits uint) {
+	if v < gapHuffDirect {
+		return int(v), 0
+	}
+	bl := bitsLen32(v) // 9..32
+	return gapHuffDirect + bl - 9, uint(bl - 1)
+}
+
+func bitsLen32(v uint32) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Encode appends the Huffman encoding of vals to dst.
+func (GapHuffman) Encode(dst []byte, vals []uint32) []byte {
+	var hdr [4]byte
+	putU32(hdr[:], uint32(len(vals)))
+	dst = append(dst, hdr[:]...)
+
+	freq := make([]uint64, gapHuffSymbols)
+	for _, v := range vals {
+		sym, _ := gapSym(v)
+		freq[sym]++
+	}
+	lengths := gapHuffLengths(freq)
+	// Header: one length byte per symbol, amortized over block-sized gap
+	// streams.
+	dst = append(dst, lengths...)
+	if len(vals) == 0 {
+		return dst
+	}
+	codes := gapCanonicalCodes(lengths)
+
+	w := msbWriter{dst: dst}
+	for _, v := range vals {
+		sym, rawBits := gapSym(v)
+		w.write(codes[sym], uint(lengths[sym]))
+		if rawBits > 0 {
+			// Low bits only; the top bit is implied by the bucket.
+			w.write(uint64(v)&(1<<rawBits-1), rawBits)
+		}
+	}
+	return w.flush()
+}
+
+// Decode appends exactly n values to dst and returns dst, the rest of the
+// input (always empty — the stream is consumed), and an error.
+func (GapHuffman) Decode(dst []uint32, src []byte, n int) ([]uint32, []byte, error) {
+	if len(src) < 4+gapHuffSymbols {
+		return nil, nil, ErrCorrupt
+	}
+	total := int(getU32(src))
+	if n > total {
+		return nil, nil, ErrCorrupt
+	}
+	lengths := src[4 : 4+gapHuffSymbols]
+	src = src[4+gapHuffSymbols:]
+
+	var counts [huffMaxLen + 1]int
+	for _, l := range lengths {
+		if l > huffMaxLen {
+			return nil, nil, ErrCorrupt
+		}
+		counts[l]++
+	}
+	counts[0] = 0
+	var firstCode [huffMaxLen + 2]uint64
+	var offset [huffMaxLen + 2]int
+	code := uint64(0)
+	totalSyms := 0
+	for l := 1; l <= huffMaxLen; l++ {
+		firstCode[l] = code
+		offset[l] = totalSyms
+		code = (code + uint64(counts[l])) << 1
+		totalSyms += counts[l]
+	}
+	syms := make([]uint32, totalSyms)
+	next := make([]int, huffMaxLen+1)
+	for s := 0; s < gapHuffSymbols; s++ {
+		if l := lengths[s]; l > 0 {
+			syms[offset[l]+next[l]] = uint32(s)
+			next[l]++
+		}
+	}
+
+	r := msbReader{src: src}
+	cur := uint64(0)
+	curLen := 0
+	for n > 0 {
+		bit, ok := r.readBit()
+		if !ok {
+			return nil, nil, ErrCorrupt
+		}
+		cur = cur<<1 | bit
+		curLen++
+		if curLen > huffMaxLen {
+			return nil, nil, ErrCorrupt
+		}
+		idx := cur - firstCode[curLen]
+		if idx >= uint64(counts[curLen]) {
+			continue
+		}
+		sym := syms[offset[curLen]+int(idx)]
+		if sym < gapHuffDirect {
+			dst = append(dst, sym)
+		} else {
+			rawBits := int(sym) - gapHuffDirect + 8 // bl-1 where bl = sym-256+9
+			var raw uint64
+			for k := 0; k < rawBits; k++ {
+				b, ok := r.readBit()
+				if !ok {
+					return nil, nil, ErrCorrupt
+				}
+				raw = raw<<1 | b
+			}
+			dst = append(dst, uint32(raw)|1<<rawBits)
+		}
+		cur, curLen = 0, 0
+		n--
+	}
+	return dst, nil, nil
+}
+
+// gapHuffLengths computes code lengths over the gap alphabet, damping until
+// the longest code fits huffMaxLen.
+func gapHuffLengths(freq []uint64) []byte {
+	f := append([]uint64(nil), freq...)
+	for {
+		lengths, maxLen := buildLengthsN(f)
+		if maxLen <= huffMaxLen {
+			return lengths
+		}
+		for i := range f {
+			if f[i] > 0 {
+				f[i] = f[i]/2 + 1
+			}
+		}
+	}
+}
+
+// buildLengthsN is buildLengths for an arbitrary alphabet size, using a
+// sorted two-queue construction (O(n log n)) instead of a heap.
+func buildLengthsN(freq []uint64) ([]byte, int) {
+	type node struct {
+		freq        uint64
+		sym         int
+		left, right int
+	}
+	var leaves []node
+	for s, f := range freq {
+		if f > 0 {
+			leaves = append(leaves, node{freq: f, sym: s, left: -1, right: -1})
+		}
+	}
+	lengths := make([]byte, len(freq))
+	if len(leaves) == 0 {
+		return lengths, 0
+	}
+	if len(leaves) == 1 {
+		lengths[leaves[0].sym] = 1
+		return lengths, 1
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].freq < leaves[j].freq })
+
+	// Two-queue Huffman: leaves queue (sorted) + internal-node queue
+	// (produced in nondecreasing order).
+	nodes := append([]node(nil), leaves...)
+	internal := make([]int, 0, len(leaves))
+	li, ii := 0, 0
+	pop := func() int {
+		if li < len(leaves) && (ii >= len(internal) || nodes[li].freq <= nodes[internal[ii]].freq) {
+			li++
+			return li - 1
+		}
+		ii++
+		return internal[ii-1]
+	}
+	remaining := len(leaves)
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		internal = append(internal, len(nodes)-1)
+		remaining--
+	}
+	root := internal[len(internal)-1]
+
+	maxLen := 0
+	type item struct{ n, d int }
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.n]
+		if nd.sym >= 0 {
+			lengths[nd.sym] = byte(it.d)
+			if it.d > maxLen {
+				maxLen = it.d
+			}
+			continue
+		}
+		stack = append(stack, item{nd.left, it.d + 1}, item{nd.right, it.d + 1})
+	}
+	return lengths, maxLen
+}
+
+// gapCanonicalCodes assigns canonical codes for the gap alphabet.
+func gapCanonicalCodes(lengths []byte) []uint64 {
+	var counts [huffMaxLen + 1]int
+	for _, l := range lengths {
+		counts[l]++
+	}
+	counts[0] = 0
+	var nextCode [huffMaxLen + 1]uint64
+	code := uint64(0)
+	for l := 1; l <= huffMaxLen; l++ {
+		nextCode[l] = code
+		code = (code + uint64(counts[l])) << 1
+	}
+	codes := make([]uint64, len(lengths))
+	for s := range lengths {
+		if l := lengths[s]; l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}

@@ -1,0 +1,262 @@
+package baseline
+
+import "container/heap"
+
+// Huffman is a semi-static canonical Huffman coder over bytes — the "shuff"
+// baseline of Table 4, and the stand-in for the slow/high-ratio end of the
+// Figure 2 spectrum (bzip2 cannot be produced with the Go standard
+// library). "Semi-static" means two passes: one to gather symbol
+// frequencies, one to encode; the 256 code lengths travel in the header.
+//
+// Decoding walks the canonical code table bit by bit, which is exactly why
+// entropy coders lose the decompression-bandwidth race in the paper: one
+// unpredictable-latency loop iteration per bit versus PFOR's constant
+// ~5 cycles per value.
+type Huffman struct{}
+
+// Name returns the codec name used in reports.
+func (Huffman) Name() string { return "shuff" }
+
+const huffMaxLen = 48 // bitWriter safety bound; real byte data stays far below
+
+// Compress appends the Huffman-compressed form of src to dst.
+func (Huffman) Compress(dst, src []byte) []byte {
+	var hdr [4]byte
+	putU32(hdr[:], uint32(len(src)))
+	dst = append(dst, hdr[:]...)
+
+	var freq [256]uint64
+	for _, c := range src {
+		freq[c]++
+	}
+	lengths := huffLengths(freq)
+	dst = append(dst, lengths[:]...)
+	if len(src) == 0 {
+		return dst
+	}
+	codes := canonicalCodes(lengths)
+
+	w := msbWriter{dst: dst}
+	for _, c := range src {
+		w.write(codes[c], uint(lengths[c]))
+	}
+	return w.flush()
+}
+
+// Decompress appends the original bytes to dst.
+func (Huffman) Decompress(dst, src []byte) ([]byte, error) {
+	if len(src) < 4+256 {
+		return nil, ErrCorrupt
+	}
+	want := int(getU32(src))
+	var lengths [256]byte
+	copy(lengths[:], src[4:260])
+	src = src[260:]
+	if want == 0 {
+		return dst, nil
+	}
+
+	// Canonical decode tables: for each length, the first code value, the
+	// number of codes, and the symbol list sorted by (length, symbol).
+	var counts [huffMaxLen + 1]int
+	for _, l := range lengths {
+		if l > huffMaxLen {
+			return nil, ErrCorrupt
+		}
+		counts[l]++
+	}
+	counts[0] = 0
+	var firstCode [huffMaxLen + 2]uint64
+	var offset [huffMaxLen + 2]int
+	code := uint64(0)
+	total := 0
+	for l := 1; l <= huffMaxLen; l++ {
+		firstCode[l] = code
+		offset[l] = total
+		code = (code + uint64(counts[l])) << 1
+		total += counts[l]
+	}
+	syms := make([]byte, total)
+	var next [huffMaxLen + 1]int
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			syms[offset[l]+next[l]] = byte(s)
+			next[l]++
+		}
+	}
+
+	r := msbReader{src: src}
+	cur := uint64(0)
+	curLen := 0
+	for {
+		bit, ok := r.readBit()
+		if !ok {
+			return nil, ErrCorrupt
+		}
+		cur = cur<<1 | uint64(bit)
+		curLen++
+		if curLen > huffMaxLen {
+			return nil, ErrCorrupt
+		}
+		if idx := cur - firstCode[curLen]; idx < uint64(counts[curLen]) {
+			dst = append(dst, syms[offset[curLen]+int(idx)])
+			want--
+			if want == 0 {
+				return dst, nil
+			}
+			cur, curLen = 0, 0
+		}
+	}
+}
+
+// huffLengths computes code lengths for the given frequencies, damping
+// pathological distributions until the longest code fits huffMaxLen.
+func huffLengths(freq [256]uint64) [256]byte {
+	for {
+		lengths, maxLen := buildLengths(freq)
+		if maxLen <= huffMaxLen {
+			return lengths
+		}
+		for i := range freq {
+			if freq[i] > 0 {
+				freq[i] = freq[i]/2 + 1
+			}
+		}
+	}
+}
+
+type huffNode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right int // node indices
+}
+
+type huffHeap struct {
+	nodes *[]huffNode
+	idx   []int
+}
+
+func (h huffHeap) Len() int { return len(h.idx) }
+func (h huffHeap) Less(i, j int) bool {
+	ni, nj := (*h.nodes)[h.idx[i]], (*h.nodes)[h.idx[j]]
+	if ni.freq != nj.freq {
+		return ni.freq < nj.freq
+	}
+	return h.idx[i] < h.idx[j] // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *huffHeap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *huffHeap) Pop() any     { x := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return x }
+
+func buildLengths(freq [256]uint64) ([256]byte, int) {
+	var lengths [256]byte
+	nodes := make([]huffNode, 0, 512)
+	h := &huffHeap{nodes: &nodes}
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, huffNode{freq: f, sym: s, left: -1, right: -1})
+			h.idx = append(h.idx, len(nodes)-1)
+		}
+	}
+	if len(h.idx) == 0 {
+		return lengths, 0
+	}
+	if len(h.idx) == 1 {
+		lengths[nodes[h.idx[0]].sym] = 1
+		return lengths, 1
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		nodes = append(nodes, huffNode{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		heap.Push(h, len(nodes)-1)
+	}
+	root := h.idx[0]
+	// Iterative depth assignment.
+	maxLen := 0
+	type item struct{ node, depth int }
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[it.node]
+		if n.sym >= 0 {
+			lengths[n.sym] = byte(it.depth)
+			if it.depth > maxLen {
+				maxLen = it.depth
+			}
+			continue
+		}
+		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+	}
+	return lengths, maxLen
+}
+
+// canonicalCodes assigns canonical codes from lengths: codes of the same
+// length are consecutive, ordered by symbol.
+func canonicalCodes(lengths [256]byte) [256]uint64 {
+	var counts [huffMaxLen + 1]int
+	for _, l := range lengths {
+		counts[l]++
+	}
+	counts[0] = 0
+	var nextCode [huffMaxLen + 1]uint64
+	code := uint64(0)
+	for l := 1; l <= huffMaxLen; l++ {
+		nextCode[l] = code
+		code = (code + uint64(counts[l])) << 1
+	}
+	var codes [256]uint64
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// msbWriter writes bit streams most-significant-bit first (the canonical
+// Huffman convention).
+type msbWriter struct {
+	dst  []byte
+	acc  uint64
+	bits uint
+}
+
+func (w *msbWriter) write(v uint64, width uint) {
+	w.acc = w.acc<<width | v
+	w.bits += width
+	for w.bits >= 8 {
+		w.dst = append(w.dst, byte(w.acc>>(w.bits-8)))
+		w.bits -= 8
+	}
+}
+
+func (w *msbWriter) flush() []byte {
+	if w.bits > 0 {
+		w.dst = append(w.dst, byte(w.acc<<(8-w.bits)))
+		w.acc, w.bits = 0, 0
+	}
+	return w.dst
+}
+
+type msbReader struct {
+	src  []byte
+	acc  uint64
+	bits uint
+}
+
+func (r *msbReader) readBit() (uint64, bool) {
+	if r.bits == 0 {
+		if len(r.src) == 0 {
+			return 0, false
+		}
+		r.acc = uint64(r.src[0])
+		r.src = r.src[1:]
+		r.bits = 8
+	}
+	r.bits--
+	return (r.acc >> r.bits) & 1, true
+}

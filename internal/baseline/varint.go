@@ -1,0 +1,78 @@
+package baseline
+
+// VByte is classic variable-byte (v-byte / LEB128) coding: seven payload
+// bits per byte, high bit set on the final byte of each value. It is the
+// simplest byte-aligned inverted-file codec and a common industry baseline
+// (Section 2.1's "variable-bitwidth" family).
+type VByte struct{}
+
+// Name returns the codec name used in reports.
+func (VByte) Name() string { return "vbyte" }
+
+// Encode appends the variable-byte encoding of vals to dst.
+func (VByte) Encode(dst []byte, vals []uint32) []byte {
+	var hdr [4]byte
+	putU32(hdr[:], uint32(len(vals)))
+	dst = append(dst, hdr[:]...)
+	for _, v := range vals {
+		for v >= 0x80 {
+			dst = append(dst, byte(v&0x7F))
+			v >>= 7
+		}
+		dst = append(dst, byte(v)|0x80)
+	}
+	return dst
+}
+
+// Decode appends exactly n values to dst and returns dst, the remaining
+// input, and an error.
+func (VByte) Decode(dst []uint32, src []byte, n int) ([]uint32, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, ErrCorrupt
+	}
+	total := int(getU32(src))
+	if n > total {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[4:]
+	for k := 0; k < n; k++ {
+		var v uint32
+		shift := uint(0)
+		for {
+			if len(src) == 0 || shift > 28 {
+				return nil, nil, ErrCorrupt
+			}
+			b := src[0]
+			src = src[1:]
+			v |= uint32(b&0x7F) << shift
+			if b&0x80 != 0 {
+				break
+			}
+			shift += 7
+		}
+		dst = append(dst, v)
+	}
+	return dst, src, nil
+}
+
+// Deltas converts absolute positions to d-gaps in place: the inverted-file
+// transformation of Section 5 ("it is therefore effective to compress the
+// gaps rather than the term positions"). Positions must be strictly
+// increasing; the first gap is taken from zero.
+func Deltas(positions []uint32) {
+	prev := uint32(0)
+	for i, p := range positions {
+		positions[i] = p - prev
+		prev = p
+	}
+}
+
+// PrefixSums is the inverse of Deltas: it turns d-gaps back into absolute
+// positions in place.
+func PrefixSums(gaps []uint32) {
+	acc := uint32(0)
+	for i, g := range gaps {
+		acc += g
+		gaps[i] = acc
+	}
+}

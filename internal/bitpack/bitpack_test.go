@@ -1,0 +1,248 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomValues(rng *rand.Rand, n int, b uint) []uint32 {
+	vals := make([]uint32, n)
+	mask := maskFor(b)
+	for i := range vals {
+		vals[i] = rng.Uint32() & mask
+	}
+	return vals
+}
+
+func TestWordCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		b    uint
+		want int
+	}{
+		{0, 5, 0},
+		{1, 1, 1},
+		{32, 1, 1},
+		{33, 1, 2},
+		{32, 32, 32},
+		{128, 3, 12},
+		{100, 7, 22}, // 700 bits -> 22 words
+		{17, 0, 0},
+	}
+	for _, c := range cases {
+		if got := WordCount(c.n, c.b); got != c.want {
+			t.Errorf("WordCount(%d,%d) = %d, want %d", c.n, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for b := uint(0); b <= 32; b++ {
+		for _, n := range []int{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1000} {
+			src := randomValues(rng, n, b)
+			dst := make([]uint32, WordCount(n, b))
+			words := Pack(dst, src, b)
+			if words != WordCount(n, b) {
+				t.Fatalf("b=%d n=%d: Pack wrote %d words, want %d", b, n, words, WordCount(n, b))
+			}
+			out := make([]uint32, n)
+			Unpack(out, dst, b)
+			for i := range src {
+				if out[i] != src[i] {
+					t.Fatalf("b=%d n=%d: round-trip mismatch at %d: got %d want %d", b, n, i, out[i], src[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUnrolledMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for b := uint(0); b <= 32; b++ {
+		n := 256 + rng.Intn(64)
+		src := randomValues(rng, n, b)
+		words := WordCount(n, b)
+
+		fast := make([]uint32, words)
+		ref := make([]uint32, words)
+		Pack(fast, src, b)
+		PackGeneric(ref, src, b)
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("b=%d: packed word %d differs: fast=%#x ref=%#x", b, i, fast[i], ref[i])
+			}
+		}
+
+		outFast := make([]uint32, n)
+		outRef := make([]uint32, n)
+		Unpack(outFast, fast, b)
+		UnpackGeneric(outRef, ref, b)
+		for i := range outFast {
+			if outFast[i] != outRef[i] {
+				t.Fatalf("b=%d: unpacked value %d differs: fast=%d ref=%d", b, i, outFast[i], outRef[i])
+			}
+		}
+	}
+}
+
+func TestPackTruncatesHighBits(t *testing.T) {
+	src := []uint32{0xFFFFFFFF, 0x12345678, 0x80000001}
+	for _, b := range []uint{1, 4, 7, 13} {
+		dst := make([]uint32, WordCount(len(src), b))
+		Pack(dst, src, b)
+		out := make([]uint32, len(src))
+		Unpack(out, dst, b)
+		mask := maskFor(b)
+		for i := range src {
+			if out[i] != src[i]&mask {
+				t.Errorf("b=%d: got %#x want %#x", b, out[i], src[i]&mask)
+			}
+		}
+	}
+}
+
+func TestPackDoesNotTouchWordsBeyondCount(t *testing.T) {
+	// Ensure Pack never writes past WordCount even for partial tails.
+	for b := uint(1); b <= 32; b++ {
+		n := 37 // deliberately not a multiple of 32
+		src := randomValues(rand.New(rand.NewSource(int64(b))), n, b)
+		words := WordCount(n, b)
+		dst := make([]uint32, words+4)
+		for i := range dst {
+			dst[i] = 0xDEADBEEF
+		}
+		Pack(dst, src, b)
+		for i := words; i < len(dst); i++ {
+			if dst[i] != 0xDEADBEEF {
+				t.Fatalf("b=%d: Pack wrote past word count at word %d", b, i)
+			}
+		}
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	src := []uint32{5, 6, 7} // all truncated away
+	dst := make([]uint32, 1)
+	if n := Pack(dst, src, 0); n != 0 {
+		t.Fatalf("Pack width 0 wrote %d words", n)
+	}
+	out := []uint32{9, 9, 9}
+	Unpack(out, dst, 0)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("Unpack width 0: out[%d]=%d, want 0", i, v)
+		}
+	}
+}
+
+func TestOutOfRangeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width 33")
+		}
+	}()
+	WordCount(10, 33)
+}
+
+func TestDstTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short dst")
+		}
+	}()
+	Pack(make([]uint32, 1), make([]uint32, 64), 8)
+}
+
+// TestQuickRoundTrip is the property-based check: any slice of values, any
+// width, round-trips through Pack/Unpack modulo the width mask.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint32, widthSeed uint8) bool {
+		b := uint(widthSeed % 33)
+		mask := maskFor(b)
+		dst := make([]uint32, WordCount(len(raw), b))
+		Pack(dst, raw, b)
+		out := make([]uint32, len(raw))
+		Unpack(out, dst, b)
+		for i := range raw {
+			if out[i] != raw[i]&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 4096
+	for _, width := range []uint{1, 4, 8, 13, 24} {
+		src := randomValues(rng, n, width)
+		packed := make([]uint32, WordCount(n, width))
+		Pack(packed, src, width)
+		out := make([]uint32, n)
+		b.Run(benchName("b", width), func(b *testing.B) {
+			b.SetBytes(n * 4)
+			for i := 0; i < b.N; i++ {
+				Unpack(out, packed, width)
+			}
+		})
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 4096
+	for _, width := range []uint{1, 4, 8, 13, 24} {
+		src := randomValues(rng, n, width)
+		packed := make([]uint32, WordCount(n, width))
+		b.Run(benchName("b", width), func(b *testing.B) {
+			b.SetBytes(n * 4)
+			for i := 0; i < b.N; i++ {
+				Pack(packed, src, width)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, width uint) string {
+	digits := ""
+	if width == 0 {
+		digits = "0"
+	}
+	for width > 0 {
+		digits = string(rune('0'+width%10)) + digits
+		width /= 10
+	}
+	return prefix + digits
+}
+
+// BenchmarkUnpackGenericAblation quantifies what the generated unrolled
+// kernels buy over the straightforward shift-based loop — the reason the
+// paper (and Lucene, and FastPFOR) ship per-width unrolled code.
+func BenchmarkUnpackGenericAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 4096
+	for _, width := range []uint{4, 8, 13} {
+		src := randomValues(rng, n, width)
+		packed := make([]uint32, WordCount(n, width))
+		Pack(packed, src, width)
+		out := make([]uint32, n)
+		b.Run("unrolled/"+benchName("b", width), func(b *testing.B) {
+			b.SetBytes(n * 4)
+			for i := 0; i < b.N; i++ {
+				Unpack(out, packed, width)
+			}
+		})
+		b.Run("generic/"+benchName("b", width), func(b *testing.B) {
+			b.SetBytes(n * 4)
+			for i := 0; i < b.N; i++ {
+				UnpackGeneric(out, packed, width)
+			}
+		})
+	}
+}

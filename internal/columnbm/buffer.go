@@ -1,0 +1,121 @@
+package columnbm
+
+import (
+	"container/list"
+)
+
+// BufferManager caches chunks in RAM. Its defining property — the paper's
+// central architectural argument — is that it caches pages in *compressed*
+// form: decompression happens later, on the RAM/CPU-cache boundary, at
+// vector granularity. The page-wise (I/O-RAM) mode is also provided for
+// the Figure 7 / Table 3 comparison; it caches *decompressed* arrays, which
+// occupy ratio-times more room, so the same memory budget caches less data.
+type BufferManager struct {
+	disk     *Disk
+	capacity int64
+
+	entries map[ChunkID]*list.Element
+	lru     *list.List // front = most recently used
+	used    int64
+
+	// Statistics.
+	Hits   int64
+	Misses int64
+}
+
+type bufEntry struct {
+	id    ChunkID
+	bytes []byte    // compressed chunk (vector-wise mode)
+	page  [][]int64 // decompressed columns (page-wise mode)
+	size  int64
+}
+
+// NewBufferManager creates a buffer pool of the given capacity over disk.
+func NewBufferManager(disk *Disk, capacityBytes int64) *BufferManager {
+	return &BufferManager{
+		disk:     disk,
+		capacity: capacityBytes,
+		entries:  make(map[ChunkID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// GetCompressed returns the compressed bytes of a chunk, reading it from
+// disk on a miss. This is the RAM-CPU cache path: what sits in the pool is
+// the compressed page.
+func (bm *BufferManager) GetCompressed(id ChunkID) []byte {
+	if el, ok := bm.entries[id]; ok {
+		e := el.Value.(*bufEntry)
+		if e.bytes != nil {
+			bm.Hits++
+			bm.lru.MoveToFront(el)
+			return e.bytes
+		}
+		// Cached only in decompressed form (mode mixing): drop and reload.
+		bm.evictEntry(el)
+	}
+	bm.Misses++
+	data := bm.disk.Read(id)
+	bm.insert(&bufEntry{id: id, bytes: data, size: int64(len(data))})
+	return data
+}
+
+// GetDecompressed returns the fully decompressed columns of a chunk,
+// decoding via decode on a miss. This is the I/O-RAM path: the pool holds
+// the decompressed page, costing ratio-times more capacity and an extra
+// RAM round trip.
+func (bm *BufferManager) GetDecompressed(id ChunkID, decode func([]byte) [][]int64) [][]int64 {
+	if el, ok := bm.entries[id]; ok {
+		e := el.Value.(*bufEntry)
+		if e.page != nil {
+			bm.Hits++
+			bm.lru.MoveToFront(el)
+			return e.page
+		}
+		bm.evictEntry(el)
+	}
+	bm.Misses++
+	data := bm.disk.Read(id)
+	page := decode(data)
+	size := int64(0)
+	for _, col := range page {
+		size += int64(len(col) * 8)
+	}
+	bm.insert(&bufEntry{id: id, page: page, size: size})
+	return page
+}
+
+func (bm *BufferManager) insert(e *bufEntry) {
+	for bm.used+e.size > bm.capacity && bm.lru.Len() > 0 {
+		bm.evictEntry(bm.lru.Back())
+	}
+	el := bm.lru.PushFront(e)
+	bm.entries[e.id] = el
+	bm.used += e.size
+}
+
+func (bm *BufferManager) evictEntry(el *list.Element) {
+	e := el.Value.(*bufEntry)
+	bm.lru.Remove(el)
+	delete(bm.entries, e.id)
+	bm.used -= e.size
+}
+
+// Used returns the bytes currently held in the pool.
+func (bm *BufferManager) Used() int64 { return bm.used }
+
+// Cached reports whether a chunk is resident.
+func (bm *BufferManager) Cached(id ChunkID) bool {
+	_, ok := bm.entries[id]
+	return ok
+}
+
+// ResetStats clears hit/miss counters.
+func (bm *BufferManager) ResetStats() { bm.Hits, bm.Misses = 0, 0 }
+
+// Clear drops all cached chunks.
+func (bm *BufferManager) Clear() {
+	bm.entries = make(map[ChunkID]*list.Element)
+	bm.lru.Init()
+	bm.used = 0
+}

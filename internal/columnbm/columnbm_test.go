@@ -1,0 +1,240 @@
+package columnbm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testData builds a small table's worth of columns: a sequential key, a
+// clustered date-like column, a low-cardinality enum, and an incompressible
+// random column.
+func testData(rng *rand.Rand, n int) ([]Column, [][]int64) {
+	cols := []Column{
+		{Name: "key"},
+		{Name: "date"},
+		{Name: "flag"},
+		{Name: "comment", NoCompress: true},
+	}
+	key := make([]int64, n)
+	date := make([]int64, n)
+	flag := make([]int64, n)
+	comment := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		date[i] = 730_000 + rng.Int63n(2500)
+		flag[i] = rng.Int63n(3)
+		comment[i] = rng.Int63()
+	}
+	return cols, [][]int64{key, date, flag, comment}
+}
+
+func scanAll(t *testing.T, tbl *Table, bm *BufferManager, cols []int, mode DecompressMode) [][]int64 {
+	t.Helper()
+	sc := tbl.NewScanner(bm, cols, DefaultVectorSize, mode)
+	out := make([][]int64, len(cols))
+	vec := make([][]int64, len(cols))
+	for i := range vec {
+		vec[i] = make([]int64, DefaultVectorSize)
+	}
+	total := 0
+	for {
+		n := sc.Next(vec)
+		if n == 0 {
+			break
+		}
+		total += n
+		for i := range cols {
+			out[i] = append(out[i], vec[i][:n]...)
+		}
+	}
+	if total != tbl.NumRows {
+		t.Fatalf("scan returned %d rows, want %d", total, tbl.NumRows)
+	}
+	return out
+}
+
+func TestBuildAndScanAllLayoutsModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const n = 3*DefaultChunkRows/4 + 12345 // spans chunks unevenly? (single chunk) keep small
+	cols, data := testData(rng, n)
+
+	for _, layout := range []Layout{DSM, PAX} {
+		for _, compress := range []bool{true, false} {
+			disk := NewDisk(80)
+			tbl := BuildTable(disk, "t", layout, cols, data, 64*1024, compress)
+			for _, mode := range []DecompressMode{VectorWise, PageWise} {
+				bm := NewBufferManager(disk, 1<<30)
+				got := scanAll(t, tbl, bm, []int{0, 1, 2, 3}, mode)
+				for c := range data {
+					for i := range data[c] {
+						if got[c][i] != data[c][i] {
+							t.Fatalf("%v/%v/compress=%v: col %d row %d: got %d want %d",
+								layout, mode, compress, c, i, got[c][i], data[c][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionRatioPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	cols, data := testData(rng, 200_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 64*1024, true)
+	// key: delta-compressible to ~1-2 bits; date: ~12 bits; flag: ~2 bits;
+	// comment: raw. Expect a healthy overall ratio despite the raw column.
+	if r := tbl.Ratio(); r < 2.2 || r > 5 {
+		t.Fatalf("table ratio %.2f outside plausible [2.2, 5]", r)
+	}
+	// Scheme sanity: key should be delta-coded, flag dictionary-or-PFOR,
+	// comment none.
+	if tbl.Choices[0].Scheme != core.SchemePFORDelta {
+		t.Errorf("key chose %v, want PFOR-DELTA", tbl.Choices[0].Scheme)
+	}
+	if tbl.Choices[3].Scheme != core.SchemeNone {
+		t.Errorf("comment chose %v, want NONE", tbl.Choices[3].Scheme)
+	}
+}
+
+func TestDSMScanReadsOnlyNeededColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cols, data := testData(rng, 100_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 64*1024, false)
+
+	disk.ResetStats()
+	bm := NewBufferManager(disk, 1<<30)
+	scanAll(t, tbl, bm, []int{1}, VectorWise)
+	oneCol := disk.BytesRead
+
+	disk.ResetStats()
+	bm = NewBufferManager(disk, 1<<30)
+	scanAll(t, tbl, bm, []int{0, 1, 2, 3}, VectorWise)
+	allCols := disk.BytesRead
+
+	if oneCol*3 > allCols {
+		t.Fatalf("DSM one-column scan read %d bytes vs %d for all four", oneCol, allCols)
+	}
+}
+
+func TestPAXScanReadsWholeChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	cols, data := testData(rng, 100_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", PAX, cols, data, 64*1024, false)
+
+	disk.ResetStats()
+	bm := NewBufferManager(disk, 1<<30)
+	scanAll(t, tbl, bm, []int{1}, VectorWise)
+	oneCol := disk.BytesRead
+
+	disk.ResetStats()
+	bm = NewBufferManager(disk, 1<<30)
+	scanAll(t, tbl, bm, []int{0, 1, 2, 3}, VectorWise)
+	allCols := disk.BytesRead
+
+	if oneCol != allCols {
+		t.Fatalf("PAX reads whole chunks regardless: %d vs %d", oneCol, allCols)
+	}
+}
+
+func TestBufferManagerCachesCompressed(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	cols, data := testData(rng, 100_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 64*1024, true)
+
+	bm := NewBufferManager(disk, 1<<30)
+	scanAll(t, tbl, bm, []int{0, 1}, VectorWise)
+	missesCold := bm.Misses
+	disk.ResetStats()
+	scanAll(t, tbl, bm, []int{0, 1}, VectorWise)
+	if disk.Reads != 0 {
+		t.Fatalf("warm scan still read %d chunks from disk", disk.Reads)
+	}
+	if bm.Misses != missesCold {
+		t.Fatalf("warm scan missed: %d -> %d", missesCold, bm.Misses)
+	}
+}
+
+func TestPageWiseCachingHoldsLessData(t *testing.T) {
+	// The architectural point: under the same memory budget, decompressed
+	// caching (I/O-RAM) evicts and re-reads where compressed caching
+	// (RAM-CPU) still fits.
+	rng := rand.New(rand.NewSource(76))
+	cols, data := testData(rng, 512*1024)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 64*1024, true)
+
+	// Budget: comfortably holds the compressed key+date columns, not the
+	// decompressed ones.
+	budget := tbl.CompressedBytes / 2
+	bmC := NewBufferManager(disk, budget)
+	scanAll(t, tbl, bmC, []int{0, 1}, VectorWise)
+	scanAll(t, tbl, bmC, []int{0, 1}, VectorWise)
+
+	bmD := NewBufferManager(disk, budget)
+	disk.ResetStats()
+	scanAll(t, tbl, bmD, []int{0, 1}, PageWise)
+	scanAll(t, tbl, bmD, []int{0, 1}, PageWise)
+
+	if bmC.Misses >= bmD.Misses {
+		t.Fatalf("compressed caching should miss less: %d vs %d", bmC.Misses, bmD.Misses)
+	}
+}
+
+func TestFineGrainedGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cols, data := testData(rng, 100_000)
+	disk := NewDisk(80)
+	for _, layout := range []Layout{DSM, PAX} {
+		tbl := BuildTable(disk, "t", layout, cols, data, 64*1024, true)
+		bm := NewBufferManager(disk, 1<<30)
+		for trial := 0; trial < 300; trial++ {
+			c := rng.Intn(len(cols))
+			r := rng.Intn(tbl.NumRows)
+			if got := tbl.Get(bm, c, r); got != data[c][r] {
+				t.Fatalf("%v: Get(%d,%d) = %d, want %d", layout, c, r, got, data[c][r])
+			}
+		}
+	}
+}
+
+func TestDiskAccounting(t *testing.T) {
+	d := NewDisk(100) // 100 MB/s
+	id := d.Write(make([]byte, 50_000_000))
+	d.ResetStats()
+	d.Read(id)
+	rt := d.ReadTime().Seconds()
+	if rt < 0.5 || rt > 0.51 {
+		t.Fatalf("50MB at 100MB/s: %.3fs, want ~0.501", rt)
+	}
+	if d.BytesRead != 50_000_000 || d.Reads != 1 {
+		t.Fatal("read accounting")
+	}
+}
+
+func TestScannerEmptyTable(t *testing.T) {
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "empty", DSM, []Column{{Name: "a"}}, [][]int64{{}}, 1024, true)
+	bm := NewBufferManager(disk, 1<<20)
+	sc := tbl.NewScanner(bm, []int{0}, DefaultVectorSize, VectorWise)
+	if n := sc.Next([][]int64{make([]int64, DefaultVectorSize)}); n != 0 {
+		t.Fatalf("empty table scan returned %d", n)
+	}
+}
+
+func TestBadVectorSizePanics(t *testing.T) {
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, []Column{{Name: "a"}}, [][]int64{{1, 2, 3}}, 1024, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-multiple vector size")
+		}
+	}()
+	tbl.NewScanner(NewBufferManager(disk, 1<<20), []int{0}, 100, VectorWise)
+}

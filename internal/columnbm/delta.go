@@ -1,0 +1,189 @@
+package columnbm
+
+import "fmt"
+
+// DeltaStore implements the differential-file update mechanism sketched in
+// Section 2.3 (after Severance & Lohman): tables on disk are immutable,
+// compressed objects; modifications accumulate in in-memory delta
+// structures and are merged into the scan stream, so the execution layer
+// always sees a consistent state. Merging happens *after* decompression,
+// which is why the RAM-CPU cache architecture "nicely fits the delta-based
+// update mechanism" — chunks need to be re-compressed only when the deltas
+// are periodically checkpointed (Merge).
+type DeltaStore struct {
+	table *Table
+
+	inserts [][]int64    // one slice per column: appended rows
+	deleted map[int]bool // row IDs of the base table marked deleted
+	updates map[int][]int64
+}
+
+// NewDeltaStore wraps an immutable table with delta structures.
+func NewDeltaStore(t *Table) *DeltaStore {
+	return &DeltaStore{
+		table:   t,
+		inserts: make([][]int64, len(t.Columns)),
+		deleted: make(map[int]bool),
+		updates: make(map[int][]int64),
+	}
+}
+
+// Insert appends one row (one value per column).
+func (d *DeltaStore) Insert(row []int64) {
+	if len(row) != len(d.table.Columns) {
+		panic(fmt.Sprintf("columnbm: insert arity %d, table has %d columns", len(row), len(d.table.Columns)))
+	}
+	for c, v := range row {
+		d.inserts[c] = append(d.inserts[c], v)
+	}
+}
+
+// Delete marks a base-table row (or an inserted row, addressed past
+// NumRows) as deleted.
+func (d *DeltaStore) Delete(rowID int) {
+	if rowID < 0 || rowID >= d.NumRows()+len(d.deleted) {
+		panic(fmt.Sprintf("columnbm: delete of row %d out of range", rowID))
+	}
+	d.deleted[rowID] = true
+}
+
+// Update overwrites one row's values in the delta layer.
+func (d *DeltaStore) Update(rowID int, row []int64) {
+	if len(row) != len(d.table.Columns) {
+		panic("columnbm: update arity mismatch")
+	}
+	if rowID < 0 || rowID >= d.table.NumRows+len(d.inserts[0]) {
+		panic(fmt.Sprintf("columnbm: update of row %d out of range", rowID))
+	}
+	cp := make([]int64, len(row))
+	copy(cp, row)
+	d.updates[rowID] = cp
+}
+
+// NumRows returns the visible row count (base − deleted + inserted).
+func (d *DeltaStore) NumRows() int {
+	n := d.table.NumRows
+	if len(d.inserts) > 0 {
+		n += len(d.inserts[0])
+	}
+	return n - len(d.deleted)
+}
+
+// DeltaScanner merges the base scan with the delta structures: deleted
+// rows are filtered out (predicated compaction, like any selection),
+// updated rows patched, and inserted rows streamed after the base.
+type DeltaScanner struct {
+	d    *DeltaStore
+	base *Scanner
+	cols []int
+
+	baseRow   int // absolute base-table position of the scan cursor
+	insertPos int
+	scratch   [][]int64
+}
+
+// NewScanner opens a merged scan over the chosen columns.
+func (d *DeltaStore) NewScanner(bm *BufferManager, cols []int, vectorSize int, mode DecompressMode) *DeltaScanner {
+	sc := &DeltaScanner{
+		d:    d,
+		base: d.table.NewScanner(bm, cols, vectorSize, mode),
+		cols: cols,
+	}
+	sc.scratch = make([][]int64, len(cols))
+	for i := range sc.scratch {
+		sc.scratch[i] = make([]int64, sc.base.VectorSize())
+	}
+	return sc
+}
+
+// Next fills dst with the next merged vector and returns the row count,
+// 0 at the end.
+func (s *DeltaScanner) Next(dst [][]int64) int {
+	// Base phase: scan, patch updates, compact deletes.
+	for {
+		n := s.base.Next(s.scratch)
+		if n == 0 {
+			break
+		}
+		out := 0
+		for i := 0; i < n; i++ {
+			rowID := s.baseRow + i
+			if s.d.deleted[rowID] {
+				continue
+			}
+			if upd, ok := s.d.updates[rowID]; ok {
+				for c, col := range s.cols {
+					dst[c][out] = upd[col]
+				}
+			} else {
+				for c := range s.cols {
+					dst[c][out] = s.scratch[c][i]
+				}
+			}
+			out++
+		}
+		s.baseRow += n
+		if out > 0 {
+			return out
+		}
+	}
+	// Insert phase.
+	total := 0
+	if len(s.d.inserts) > 0 {
+		total = len(s.d.inserts[0])
+	}
+	vlen := s.base.VectorSize()
+	out := 0
+	for s.insertPos < total && out < vlen {
+		rowID := s.d.table.NumRows + s.insertPos
+		s.insertPos++
+		if s.d.deleted[rowID] {
+			continue
+		}
+		row, updated := s.d.updates[rowID]
+		for c, col := range s.cols {
+			if updated {
+				dst[c][out] = row[col]
+			} else {
+				dst[c][out] = s.d.inserts[col][s.insertPos-1]
+			}
+		}
+		out++
+	}
+	return out
+}
+
+// Merge materializes the table with all deltas applied and rebuilds it
+// (re-analyzing and re-compressing every column) on the given disk — the
+// periodic checkpoint that keeps the delta structures small.
+func (d *DeltaStore) Merge(disk *Disk) *Table {
+	t := d.table
+	cols := make([][]int64, len(t.Columns))
+	allIdx := make([]int, len(t.Columns))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	bm := NewBufferManager(disk, 64<<20)
+	sc := d.NewScanner(bm, allIdx, DefaultVectorSize, VectorWise)
+	vec := make([][]int64, len(t.Columns))
+	for i := range vec {
+		vec[i] = make([]int64, DefaultVectorSize)
+	}
+	for {
+		n := sc.Next(vec)
+		if n == 0 {
+			break
+		}
+		for c := range cols {
+			cols[c] = append(cols[c], vec[c][:n]...)
+		}
+	}
+	compress := false
+	for _, ch := range t.Choices {
+		if ch.Scheme != 0 { // core.SchemeNone
+			compress = true
+			break
+		}
+	}
+	return BuildTable(disk, t.Name, t.Layout, t.Columns, cols, t.ChunkRows, compress)
+}

@@ -1,0 +1,171 @@
+package columnbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func scanDelta(t *testing.T, d *DeltaStore, bm *BufferManager, cols []int) [][]int64 {
+	t.Helper()
+	sc := d.NewScanner(bm, cols, DefaultVectorSize, VectorWise)
+	out := make([][]int64, len(cols))
+	vec := make([][]int64, len(cols))
+	for i := range vec {
+		vec[i] = make([]int64, DefaultVectorSize)
+	}
+	total := 0
+	for {
+		n := sc.Next(vec)
+		if n == 0 {
+			break
+		}
+		total += n
+		for i := range cols {
+			out[i] = append(out[i], vec[i][:n]...)
+		}
+	}
+	if total != d.NumRows() {
+		t.Fatalf("delta scan returned %d rows, NumRows says %d", total, d.NumRows())
+	}
+	return out
+}
+
+func TestDeltaStorePassThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	cols, data := testData(rng, 50_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 64*1024, true)
+	d := NewDeltaStore(tbl)
+	bm := NewBufferManager(disk, 1<<30)
+	got := scanDelta(t, d, bm, []int{0, 1, 2, 3})
+	for c := range data {
+		for i := range data[c] {
+			if got[c][i] != data[c][i] {
+				t.Fatalf("pass-through col %d row %d differs", c, i)
+			}
+		}
+	}
+}
+
+func TestDeltaStoreInsertDeleteUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cols, data := testData(rng, 10_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 4096, true)
+	d := NewDeltaStore(tbl)
+
+	d.Insert([]int64{10_000, 731_000, 1, 42})
+	d.Insert([]int64{10_001, 731_001, 2, 43})
+	d.Delete(5)     // base row
+	d.Delete(9_999) // last base row
+	d.Update(7, []int64{777, 777, 777, 777})
+
+	if want := 10_000 + 2 - 2; d.NumRows() != want {
+		t.Fatalf("NumRows %d, want %d", d.NumRows(), want)
+	}
+
+	bm := NewBufferManager(disk, 1<<30)
+	got := scanDelta(t, d, bm, []int{0, 1, 2, 3})
+
+	// Build the expected view scalar-style.
+	var want [][]int64 = make([][]int64, 4)
+	for i := 0; i < 10_000; i++ {
+		if i == 5 || i == 9_999 {
+			continue
+		}
+		for c := 0; c < 4; c++ {
+			v := data[c][i]
+			if i == 7 {
+				v = 777
+			}
+			want[c] = append(want[c], v)
+		}
+	}
+	want[0] = append(want[0], 10_000, 10_001)
+	want[1] = append(want[1], 731_000, 731_001)
+	want[2] = append(want[2], 1, 2)
+	want[3] = append(want[3], 42, 43)
+
+	for c := range want {
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("col %d: %d rows, want %d", c, len(got[c]), len(want[c]))
+		}
+		for i := range want[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("col %d row %d: got %d want %d", c, i, got[c][i], want[c][i])
+			}
+		}
+	}
+}
+
+func TestDeltaStoreDeleteInsertedRow(t *testing.T) {
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, []Column{{Name: "a"}}, [][]int64{{1, 2, 3}}, 1024, true)
+	d := NewDeltaStore(tbl)
+	d.Insert([]int64{4})
+	d.Insert([]int64{5})
+	d.Delete(3) // the first inserted row (base has 3 rows)
+	bm := NewBufferManager(disk, 1<<30)
+	got := scanDelta(t, d, bm, []int{0})
+	want := []int64{1, 2, 3, 5}
+	if len(got[0]) != len(want) {
+		t.Fatalf("rows %v", got[0])
+	}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("got %v want %v", got[0], want)
+		}
+	}
+}
+
+func TestDeltaStoreMergeRecompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	cols, data := testData(rng, 30_000)
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, cols, data, 4096, true)
+	d := NewDeltaStore(tbl)
+	for i := 0; i < 100; i++ {
+		d.Insert([]int64{int64(30_000 + i), 731_000, 0, rng.Int63()})
+		d.Delete(i * 7)
+	}
+
+	merged := d.Merge(disk)
+	if merged.NumRows != d.NumRows() {
+		t.Fatalf("merged rows %d, want %d", merged.NumRows, d.NumRows())
+	}
+	// Merged table must scan identically to the delta view.
+	bm := NewBufferManager(disk, 1<<30)
+	view := scanDelta(t, d, bm, []int{0, 1, 2, 3})
+	mergedScan := scanAll(t, merged, NewBufferManager(disk, 1<<30), []int{0, 1, 2, 3}, VectorWise)
+	for c := range view {
+		for i := range view[c] {
+			if view[c][i] != mergedScan[c][i] {
+				t.Fatalf("merge mismatch col %d row %d", c, i)
+			}
+		}
+	}
+	// And stay compressed.
+	if merged.Ratio() < 1.5 {
+		t.Fatalf("merged table ratio %.2f, expected recompression", merged.Ratio())
+	}
+}
+
+func TestDeltaStorePanics(t *testing.T) {
+	disk := NewDisk(80)
+	tbl := BuildTable(disk, "t", DSM, []Column{{Name: "a"}}, [][]int64{{1}}, 1024, true)
+	d := NewDeltaStore(tbl)
+	for name, f := range map[string]func(){
+		"insert arity": func() { d.Insert([]int64{1, 2}) },
+		"delete range": func() { d.Delete(99) },
+		"update range": func() { d.Update(99, []int64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

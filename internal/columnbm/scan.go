@@ -1,0 +1,219 @@
+package columnbm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+// DecompressMode selects where decompression happens (Figure 1).
+type DecompressMode int
+
+const (
+	// VectorWise is the paper's proposal: compressed pages stay in the
+	// buffer pool; each Next() decompresses just one CPU-cache-sized
+	// vector on the RAM/cache boundary.
+	VectorWise DecompressMode = iota
+	// PageWise is the conventional I/O-RAM placement: a chunk is fully
+	// decompressed into a RAM-resident page when first touched, and the
+	// scan memcpy's vectors out of it.
+	PageWise
+)
+
+// String names the mode as in Table 3.
+func (m DecompressMode) String() string {
+	if m == PageWise {
+		return "page-wise"
+	}
+	return "vector-wise"
+}
+
+// DefaultVectorSize is the scan vector length: 1024 values (8KB per int64
+// column) keeps a handful of columns inside L1/L2, matching X100's "few
+// hundreds to a few thousand" guidance. Must be a multiple of
+// core.GroupSize.
+const DefaultVectorSize = 1024
+
+// Scanner iterates a table's rows vector-at-a-time over a chosen column
+// subset. It is single-use and not goroutine-safe.
+type Scanner struct {
+	t    *Table
+	bm   *BufferManager
+	cols []int
+	mode DecompressMode
+	vlen int
+
+	chunk int // current chunk index
+	pos   int // row offset within chunk
+
+	// Vector-wise state: the parsed block per column of the current chunk.
+	blocks []*core.Block[int64]
+	raws   [][]int64 // raw (uncompressed) segment data per column
+	dec    core.Decoder[int64]
+
+	// Page-wise state: decompressed page per column.
+	page [][]int64
+
+	// DecompressTime accumulates wall time spent decoding segments —
+	// the "decompression" slice of Figure 8.
+	DecompressTime time.Duration
+}
+
+// NewScanner creates a scanner over cols (indices into t.Columns).
+func (t *Table) NewScanner(bm *BufferManager, cols []int, vectorSize int, mode DecompressMode) *Scanner {
+	if vectorSize <= 0 {
+		vectorSize = DefaultVectorSize
+	}
+	if vectorSize%core.GroupSize != 0 {
+		panic("columnbm: vector size must be a multiple of the entry-point group size")
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.Columns) {
+			panic(fmt.Sprintf("columnbm: column %d out of range", c))
+		}
+	}
+	return &Scanner{
+		t: t, bm: bm, cols: cols, mode: mode, vlen: vectorSize,
+		blocks: make([]*core.Block[int64], len(cols)),
+		raws:   make([][]int64, len(cols)),
+	}
+}
+
+// NumCols returns the number of scanned columns.
+func (s *Scanner) NumCols() int { return len(s.cols) }
+
+// VectorSize returns the scan vector length.
+func (s *Scanner) VectorSize() int { return s.vlen }
+
+// Next fills dst (one pre-allocated slice of VectorSize per scanned column)
+// with the next vector and returns the number of rows, 0 at end of table.
+func (s *Scanner) Next(dst [][]int64) int {
+	if len(dst) != len(s.cols) {
+		panic("columnbm: dst arity mismatch")
+	}
+	if s.chunk >= s.t.NumChunks() {
+		return 0
+	}
+	chunkRows := s.t.chunkLen(s.chunk)
+	if s.pos == 0 {
+		s.openChunk()
+	}
+	n := min(s.vlen, chunkRows-s.pos)
+	lo, hi := s.pos, s.pos+n
+
+	switch s.mode {
+	case VectorWise:
+		start := time.Now()
+		for i := range s.cols {
+			if blk := s.blocks[i]; blk != nil {
+				s.dec.DecompressRange(blk, dst[i][:n], lo, hi)
+			} else {
+				copy(dst[i][:n], s.raws[i][lo:hi])
+			}
+		}
+		s.DecompressTime += time.Since(start)
+	case PageWise:
+		for i := range s.cols {
+			copy(dst[i][:n], s.page[i][lo:hi])
+		}
+	}
+
+	s.pos += n
+	if s.pos >= chunkRows {
+		s.chunk++
+		s.pos = 0
+	}
+	return n
+}
+
+// openChunk loads and prepares the current chunk according to the mode.
+func (s *Scanner) openChunk() {
+	switch s.mode {
+	case VectorWise:
+		// Parse segment headers now; decode ranges lazily per vector.
+		for i, c := range s.cols {
+			buf := s.t.chunkSegment(s.bm, c, s.chunk)
+			s.blocks[i], s.raws[i] = parseSegment(buf)
+		}
+	case PageWise:
+		// Fully decompress the chunk into the buffer pool (decompressed
+		// caching: the I/O-RAM architecture).
+		if s.t.Layout == DSM {
+			s.page = make([][]int64, len(s.cols))
+			for i, c := range s.cols {
+				id := s.t.dsmChunks[c][s.chunk]
+				cols := s.bm.GetDecompressed(id, func(buf []byte) [][]int64 {
+					return [][]int64{s.decodeAll(buf)}
+				})
+				s.page[i] = cols[0]
+			}
+		} else {
+			id := s.t.paxChunks[s.chunk]
+			all := s.bm.GetDecompressed(id, func(buf []byte) [][]int64 {
+				out := make([][]int64, len(s.t.Columns))
+				for c := range s.t.Columns {
+					out[c] = s.decodeAll(paxSegment(buf, c))
+				}
+				return out
+			})
+			s.page = make([][]int64, len(s.cols))
+			for i, c := range s.cols {
+				s.page[i] = all[c]
+			}
+		}
+	}
+}
+
+// decodeAll decompresses a whole segment, timing it.
+func (s *Scanner) decodeAll(buf []byte) []int64 {
+	start := time.Now()
+	defer func() { s.DecompressTime += time.Since(start) }()
+	blk, raw := parseSegment(buf)
+	if blk == nil {
+		return raw
+	}
+	out := make([]int64, blk.N)
+	s.dec.Decompress(blk, out)
+	return out
+}
+
+// parseSegment returns either the compressed block or the raw values.
+func parseSegment(buf []byte) (*core.Block[int64], []int64) {
+	if segment.IsCompressed(buf) {
+		blk, err := segment.Unmarshal[int64](buf)
+		if err != nil {
+			panic("columnbm: corrupt segment: " + err.Error())
+		}
+		return blk, nil
+	}
+	vals, err := segment.UnmarshalRaw[int64](buf)
+	if err != nil {
+		panic("columnbm: corrupt raw segment: " + err.Error())
+	}
+	return nil, vals
+}
+
+// chunkLen returns the number of rows in chunk i.
+func (t *Table) chunkLen(i int) int {
+	lo := i * t.ChunkRows
+	return min(t.ChunkRows, t.NumRows-lo)
+}
+
+// Get performs a fine-grained point lookup of (col, row) without
+// decompressing the containing segment (Section 3.1, "Fine-Grained
+// Access"). The segment is fetched through the buffer manager in
+// compressed form.
+func (t *Table) Get(bm *BufferManager, col, row int) int64 {
+	if row < 0 || row >= t.NumRows {
+		panic(fmt.Sprintf("columnbm: row %d out of range", row))
+	}
+	chunk, off := row/t.ChunkRows, row%t.ChunkRows
+	buf := t.chunkSegment(bm, col, chunk)
+	blk, raw := parseSegment(buf)
+	if blk == nil {
+		return raw[off]
+	}
+	return core.Get(blk, off)
+}

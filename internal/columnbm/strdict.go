@@ -1,0 +1,89 @@
+package columnbm
+
+import "sort"
+
+// StringDict implements enumerated storage for variable-width columns
+// (Section 2.1, "also called 'enumerated storage'"): strings are replaced
+// by dense integer codes before they enter the int64 column pipeline, and
+// decoded back on output. This is how VARCHAR columns — market segments,
+// ship modes, priorities, return flags — become the low-cardinality
+// integer columns PDICT then compresses to a handful of bits.
+//
+// Codes are assigned in sorted string order, so integer comparisons on
+// codes preserve the string ordering: range predicates can be evaluated
+// directly on the compressed representation, the query-optimization trick
+// discussed in Section 2.1 (select on gender=1 instead of
+// gender="FEMALE").
+type StringDict struct {
+	values []string
+	codes  map[string]int64
+}
+
+// BuildStringDict builds a dictionary over the distinct values of column.
+func BuildStringDict(column []string) *StringDict {
+	set := make(map[string]struct{}, 64)
+	for _, s := range column {
+		set[s] = struct{}{}
+	}
+	values := make([]string, 0, len(set))
+	for s := range set {
+		values = append(values, s)
+	}
+	sort.Strings(values)
+	codes := make(map[string]int64, len(values))
+	for i, s := range values {
+		codes[s] = int64(i)
+	}
+	return &StringDict{values: values, codes: codes}
+}
+
+// Size returns the number of distinct values.
+func (d *StringDict) Size() int { return len(d.values) }
+
+// Encode maps a string to its code. The second result is false for
+// strings outside the dictionary (an insert that would "enlarge the subset
+// of used values", the overflow case dictionary compression struggles
+// with — the caller must rebuild or fall back).
+func (d *StringDict) Encode(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Decode maps a code back to its string.
+func (d *StringDict) Decode(code int64) string {
+	if code < 0 || int(code) >= len(d.values) {
+		panic("columnbm: string code out of range")
+	}
+	return d.values[code]
+}
+
+// EncodeColumn converts a string column into its int64 code column.
+// Every value must be in the dictionary.
+func (d *StringDict) EncodeColumn(column []string) []int64 {
+	out := make([]int64, len(column))
+	for i, s := range column {
+		c, ok := d.codes[s]
+		if !ok {
+			panic("columnbm: string not in dictionary: " + s)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// DecodeColumn converts codes back into strings, appending to dst.
+func (d *StringDict) DecodeColumn(dst []string, codes []int64) []string {
+	for _, c := range codes {
+		dst = append(dst, d.Decode(c))
+	}
+	return dst
+}
+
+// CodeRange returns the half-open code interval [lo, hi) of dictionary
+// values s with prefix <= s < limit in string order — the translation of a
+// string range predicate into an integer range predicate on codes.
+func (d *StringDict) CodeRange(low, high string) (lo, hi int64) {
+	lo = int64(sort.SearchStrings(d.values, low))
+	hi = int64(sort.SearchStrings(d.values, high))
+	return lo, hi
+}

@@ -1,0 +1,225 @@
+package columnbm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+// Layout selects the physical chunk layout.
+type Layout int
+
+const (
+	// DSM stores each column in its own sequence of chunks (Copeland &
+	// Khoshafian's Decomposition Storage Model): a scan touching k of n
+	// columns reads only k/n of the data.
+	DSM Layout = iota
+	// PAX stores, inside each chunk, one segment per column covering the
+	// same rows (Ailamaki et al.): every scan reads whole chunks, but a
+	// single chunk delivers complete tuples, which favors OLTP-ish access.
+	PAX
+)
+
+// String names the layout as in the paper's tables.
+func (l Layout) String() string {
+	if l == PAX {
+		return "PAX"
+	}
+	return "DSM"
+}
+
+// Column describes one table column. All values are int64 at this layer:
+// strings arrive dictionary-encoded, decimals scaled, dates as day numbers
+// (the enumerated-storage convention of MonetDB/X100).
+type Column struct {
+	Name string
+	// NoCompress marks columns the patched schemes cannot help (the
+	// paper's "comment" fields, which it likewise could not compress).
+	NoCompress bool
+}
+
+// Table is a chunked, compressed, immutable table on a simulated disk.
+type Table struct {
+	Name      string
+	Columns   []Column
+	Layout    Layout
+	NumRows   int
+	ChunkRows int
+
+	disk *Disk
+	// DSM: dsmChunks[col][chunk]; PAX: paxChunks[chunk].
+	dsmChunks [][]ChunkID
+	paxChunks []ChunkID
+
+	// Choices records the analyzer's per-column decision (made once on a
+	// sample, as in Section 3.1; parameters apply to every chunk).
+	Choices []core.Choice[int64]
+
+	// Size accounting for compression-ratio reporting.
+	UncompressedBytes int64
+	CompressedBytes   int64
+}
+
+// DefaultChunkRows is sized so an uncompressed int64 DSM segment is 2MB —
+// inside the paper's 1-8MB chunk window.
+const DefaultChunkRows = 256 * 1024
+
+// BuildTable compresses data (one slice per column, equal lengths) into
+// chunks on disk and returns the table. compress=false stores everything
+// raw (the "uncompressed" configurations of Table 2).
+func BuildTable(disk *Disk, name string, layout Layout, cols []Column, data [][]int64, chunkRows int, compress bool) *Table {
+	if len(cols) != len(data) {
+		panic("columnbm: column count mismatch")
+	}
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	if chunkRows%core.GroupSize != 0 {
+		panic("columnbm: chunk rows must be a multiple of the entry-point group size")
+	}
+	numRows := 0
+	if len(data) > 0 {
+		numRows = len(data[0])
+		for c := range data {
+			if len(data[c]) != numRows {
+				panic("columnbm: ragged columns")
+			}
+		}
+	}
+	t := &Table{
+		Name: name, Columns: cols, Layout: layout,
+		NumRows: numRows, ChunkRows: chunkRows, disk: disk,
+		Choices: make([]core.Choice[int64], len(cols)),
+	}
+
+	// One analysis pass per column over a sample (Section 3.1: "first
+	// gather a sample (e.g. s=64K values) and look for the best settings").
+	for c := range cols {
+		if !compress || cols[c].NoCompress {
+			t.Choices[c] = core.Choice[int64]{Scheme: core.SchemeNone}
+			continue
+		}
+		t.Choices[c] = core.Choose(core.Sample(data[c], core.DefaultSampleSize))
+	}
+
+	numChunks := (numRows + chunkRows - 1) / chunkRows
+	if layout == DSM {
+		t.dsmChunks = make([][]ChunkID, len(cols))
+		for c := range cols {
+			t.dsmChunks[c] = make([]ChunkID, 0, numChunks)
+		}
+	}
+	for chunk := 0; chunk < numChunks; chunk++ {
+		lo := chunk * chunkRows
+		hi := min(lo+chunkRows, numRows)
+		if layout == DSM {
+			for c := range cols {
+				seg := t.encodeSegment(c, data[c][lo:hi])
+				t.dsmChunks[c] = append(t.dsmChunks[c], disk.Write(seg))
+			}
+		} else {
+			segs := make([][]byte, len(cols))
+			for c := range cols {
+				segs[c] = t.encodeSegment(c, data[c][lo:hi])
+			}
+			t.paxChunks = append(t.paxChunks, disk.Write(packPAX(segs)))
+		}
+	}
+	t.UncompressedBytes = int64(numRows) * int64(len(cols)) * 8
+	return t
+}
+
+// encodeSegment compresses one column-chunk with the column's chosen
+// scheme, falling back to raw storage when compression does not pay on
+// this particular chunk.
+func (t *Table) encodeSegment(col int, vals []int64) []byte {
+	choice := t.Choices[col]
+	if choice.Scheme != core.SchemeNone {
+		blk := choice.Compress(vals)
+		buf := segment.Marshal(blk)
+		if len(buf) < len(vals)*8 {
+			t.CompressedBytes += int64(len(buf))
+			return buf
+		}
+	}
+	buf := segment.MarshalRaw(vals)
+	t.CompressedBytes += int64(len(buf))
+	return buf
+}
+
+// NumChunks returns the number of row ranges.
+func (t *Table) NumChunks() int {
+	return (t.NumRows + t.ChunkRows - 1) / t.ChunkRows
+}
+
+// Ratio returns the table-wide compression ratio.
+func (t *Table) Ratio() float64 {
+	if t.CompressedBytes == 0 {
+		return 1
+	}
+	return float64(t.UncompressedBytes) / float64(t.CompressedBytes)
+}
+
+// ScanBytes returns the bytes a full scan of the given columns reads from
+// disk: per-column chunks under DSM, every chunk under PAX.
+func (t *Table) ScanBytes(cols []int) int64 {
+	var total int64
+	if t.Layout == DSM {
+		for _, c := range cols {
+			for _, id := range t.dsmChunks[c] {
+				total += int64(t.disk.ChunkSize(id))
+			}
+		}
+		return total
+	}
+	for _, id := range t.paxChunks {
+		total += int64(t.disk.ChunkSize(id))
+	}
+	return total
+}
+
+// packPAX concatenates per-column segments with a little directory:
+// [n uint32][end_0 uint32]...[end_n-1 uint32][seg_0]...[seg_n-1].
+func packPAX(segs [][]byte) []byte {
+	size := 4 + 4*len(segs)
+	for _, s := range segs {
+		size += len(s)
+	}
+	buf := make([]byte, 4+4*len(segs), size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(segs)))
+	end := 0
+	for i, s := range segs {
+		end += len(s)
+		binary.LittleEndian.PutUint32(buf[4+4*i:], uint32(end))
+	}
+	for _, s := range segs {
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// paxSegment extracts column c's segment from a PAX chunk.
+func paxSegment(chunk []byte, c int) []byte {
+	n := int(binary.LittleEndian.Uint32(chunk))
+	if c < 0 || c >= n {
+		panic(fmt.Sprintf("columnbm: PAX column %d of %d", c, n))
+	}
+	dirEnd := 4 + 4*n
+	start := 0
+	if c > 0 {
+		start = int(binary.LittleEndian.Uint32(chunk[4+4*(c-1):]))
+	}
+	end := int(binary.LittleEndian.Uint32(chunk[4+4*c:]))
+	return chunk[dirEnd+start : dirEnd+end]
+}
+
+// chunkSegment returns the serialized segment for (column, chunk) under
+// either layout, going through the buffer manager.
+func (t *Table) chunkSegment(bm *BufferManager, col, chunk int) []byte {
+	if t.Layout == DSM {
+		return bm.GetCompressed(t.dsmChunks[col][chunk])
+	}
+	return paxSegment(bm.GetCompressed(t.paxChunks[chunk]), col)
+}

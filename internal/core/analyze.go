@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"unsafe"
+)
+
+// This file implements the compression-mode analysis of Section 3.1
+// ("Choosing Compression Schemes"): given a sorted sample of a column, find
+// for each scheme the parameters that minimize the modeled compressed size
+// b + E(b)*8*sizeof(V) bits per value, then pick the cheapest scheme. The
+// complexity is O(s log s) in the sample size s, dominated by the sort.
+
+// DefaultSampleSize is the sample the paper suggests for mode analysis
+// ("e.g. s=64K values").
+const DefaultSampleSize = 64 * 1024
+
+// Choice is the outcome of compression-mode analysis: a scheme with its
+// parameters and the modeled cost in bits per value.
+type Choice[T Integer] struct {
+	Scheme    Scheme
+	B         uint
+	Base      T   // PFOR: frame base
+	DeltaBase T   // PFOR-DELTA: delta-frame base
+	Dict      []T // PDICT: dictionary (most frequent sample values)
+	// Bits is the modeled compressed size in bits per value, including
+	// projected exceptions (with the compulsory-exception correction of
+	// Figure 6).
+	Bits float64
+	// ExceptionRate is the projected effective exception rate E'.
+	ExceptionRate float64
+}
+
+// Compress compresses src with the chosen scheme and parameters.
+// For SchemeNone it returns nil (store verbatim).
+func (c Choice[T]) Compress(src []T) *Block[T] {
+	switch c.Scheme {
+	case SchemePFOR:
+		return CompressPFOR(src, c.Base, c.B)
+	case SchemePFORDelta:
+		if len(src) == 0 {
+			return CompressPFORDelta(src, 0, c.DeltaBase, c.B)
+		}
+		// Chain the frame so that the first delta equals DeltaBase and
+		// codes to zero.
+		return CompressPFORDelta(src, src[0]-c.DeltaBase, c.DeltaBase, c.B)
+	case SchemePDict:
+		return CompressPDict(src, c.Dict, c.B)
+	case SchemeNone:
+		return nil
+	}
+	panic("core: cannot compress scheme " + c.Scheme.String())
+}
+
+// CompulsoryExceptionRate returns the effective exception rate E' after
+// accounting for compulsory exceptions, per the paper's formula
+//
+//	E' = MAX(E, (128E-1)/(128E) * 2^-b)
+//
+// (Figure 6). With b <= 4 and small E the linked list cannot span the
+// gaps between natural exceptions, and E' is dominated by the 2^-b term;
+// for b > 4 the effect is negligible.
+func CompulsoryExceptionRate(e float64, b uint) float64 {
+	if e <= 0 {
+		return 0
+	}
+	t := (128*e - 1) / (128 * e) * math.Pow(2, -float64(b))
+	return math.Max(e, t)
+}
+
+// AnalyzePFOR finds the (base, b) pair minimizing modeled PFOR size over
+// the sample. It implements PFOR_ANALYZE_BITS: one pass over the sorted
+// sample per bit width, finding the longest stretch of values whose spread
+// is representable in b bits; everything outside the stretch becomes an
+// exception.
+func AnalyzePFOR[T Integer](sample []T) Choice[T] {
+	c := Choice[T]{Scheme: SchemePFOR, B: 1, Bits: math.Inf(1)}
+	if len(sample) == 0 {
+		c.Bits = 0
+		return c
+	}
+	sorted := slices.Clone(sample)
+	slices.Sort(sorted)
+	valueBits := typeBits[T]()
+	s := float64(len(sorted))
+	for b := uint(1); b <= min(32, valueBits); b++ {
+		start, length := pforAnalyzeBits(sorted, b)
+		e := (s - float64(length)) / s
+		ePrime := CompulsoryExceptionRate(e, b)
+		bits := modelBits[T](b, ePrime)
+		if bits < c.Bits {
+			c.B, c.Base, c.Bits, c.ExceptionRate = b, sorted[start], bits, ePrime
+		}
+		if length == len(sorted) {
+			break // wider codes can only cost more once everything fits
+		}
+	}
+	return c
+}
+
+// pforAnalyzeBits is the paper's PFOR_ANALYZE_BITS: it returns the start
+// index and length of the longest stretch of the sorted sample whose
+// first-to-last difference is representable in b bits.
+func pforAnalyzeBits[T Integer](sorted []T, b uint) (start, length int) {
+	mask := typeMask[T]()
+	maxc := maxCode(b)
+	length = 1
+	lo := 0
+	for hi := 0; hi < len(sorted); hi++ {
+		for uint64(sorted[hi]-sorted[lo])&mask > maxc {
+			lo++
+		}
+		if hi-lo+1 > length {
+			start, length = lo, hi-lo+1
+		}
+	}
+	return start, length
+}
+
+// AnalyzePFORDelta runs the PFOR analysis on the sorted consecutive
+// differences of the sample, yielding the delta-frame base and width.
+func AnalyzePFORDelta[T Integer](sample []T) Choice[T] {
+	c := Choice[T]{Scheme: SchemePFORDelta, B: 1, Bits: math.Inf(1)}
+	if len(sample) < 2 {
+		c.Bits = 0
+		return c
+	}
+	deltas := make([]T, len(sample)-1)
+	for i := 1; i < len(sample); i++ {
+		deltas[i-1] = sample[i] - sample[i-1]
+	}
+	sub := AnalyzePFOR(deltas)
+	c.B, c.DeltaBase, c.Bits, c.ExceptionRate = sub.B, sub.Base, sub.Bits, sub.ExceptionRate
+	return c
+}
+
+// MaxDictBits caps PDICT dictionaries at 2^16 entries; beyond that the
+// dictionary itself stops paying for its storage on block-sized data.
+const MaxDictBits = 16
+
+// AnalyzePDict builds a frequency histogram of the sample (one pass over
+// the sorted sample), re-sorts it descending on frequency, and finds the b
+// for which coding the 2^b most frequent values minimizes the modeled size.
+// The exception rate for width b is 1 - (coverage of the top 2^b values).
+func AnalyzePDict[T Integer](sample []T) Choice[T] {
+	c := Choice[T]{Scheme: SchemePDict, B: 1, Bits: math.Inf(1)}
+	if len(sample) == 0 {
+		c.Bits = 0
+		return c
+	}
+	sorted := slices.Clone(sample)
+	slices.Sort(sorted)
+
+	type bucket struct {
+		value T
+		count int
+	}
+	var hist []bucket
+	run := 1
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i] == sorted[i-1] {
+			run++
+			continue
+		}
+		hist = append(hist, bucket{sorted[i-1], run})
+		run = 1
+	}
+	slices.SortFunc(hist, func(a, b bucket) int { return b.count - a.count })
+
+	// Prefix coverage: covered[k] = sample values covered by the top k
+	// histogram buckets.
+	covered := make([]int, len(hist)+1)
+	for i, h := range hist {
+		covered[i+1] = covered[i] + h.count
+	}
+
+	s := float64(len(sorted))
+	valueBits := typeBits[T]()
+	bestB := uint(0)
+	for b := uint(1); b <= min(MaxDictBits, valueBits); b++ {
+		k := min(1<<b, len(hist))
+		e := (s - float64(covered[k])) / s
+		ePrime := CompulsoryExceptionRate(e, b)
+		// Amortize dictionary storage over the sample: k entries of
+		// sizeof(T) bytes.
+		dictBits := float64(k) * 8 * float64(unsafe.Sizeof(sorted[0])) / s
+		bits := modelBits[T](b, ePrime) + dictBits
+		if bits < c.Bits {
+			bestB, c.Bits, c.ExceptionRate = b, bits, ePrime
+		}
+		if k == len(hist) {
+			break
+		}
+	}
+	c.B = bestB
+	k := min(1<<bestB, len(hist))
+	c.Dict = make([]T, k)
+	for i := 0; i < k; i++ {
+		c.Dict[i] = hist[i].value
+	}
+	return c
+}
+
+// Choose runs all applicable analyses on the sample and returns the
+// cheapest scheme, falling back to SchemeNone when nothing beats verbatim
+// storage.
+func Choose[T Integer](sample []T) Choice[T] {
+	var v T
+	rawBits := float64(unsafe.Sizeof(v)) * 8
+	best := Choice[T]{Scheme: SchemeNone, Bits: rawBits}
+	for _, c := range []Choice[T]{AnalyzePFOR(sample), AnalyzePFORDelta(sample), AnalyzePDict(sample)} {
+		// Entry points cost 0.25 bits/value (0.5 for PFOR-DELTA, which
+		// also stores running totals).
+		overhead := 0.25
+		if c.Scheme == SchemePFORDelta {
+			overhead = 0.5
+		}
+		if c.Bits+overhead < best.Bits {
+			best = c
+			best.Bits += overhead
+		}
+	}
+	return best
+}
+
+// Sample extracts an analysis sample of at most maxN values from src as a
+// set of contiguous runs spread across the input. Runs (rather than strided
+// single values) keep consecutive-difference statistics intact, which the
+// PFOR-DELTA analysis depends on: a strided sample of a dense sequential
+// key would see deltas of `stride` instead of 1 and mis-parameterize the
+// codec.
+func Sample[T Integer](src []T, maxN int) []T {
+	if len(src) <= maxN {
+		return src
+	}
+	runs := 64
+	if runs > maxN {
+		runs = maxN
+	}
+	runLen := maxN / runs
+	stride := len(src) / runs
+	out := make([]T, 0, runs*runLen)
+	for r := 0; r < runs; r++ {
+		lo := r * stride
+		out = append(out, src[lo:lo+runLen]...)
+	}
+	return out
+}
+
+// modelBits is the paper's cost model: b bits for every code plus
+// 8*sizeof(V) bits for each projected exception.
+func modelBits[T Integer](b uint, excRate float64) float64 {
+	var v T
+	return float64(b) + excRate*8*float64(unsafe.Sizeof(v))
+}

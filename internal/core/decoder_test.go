@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetMatchesDecompressPFOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, rate := range []float64{0, 0.05, 0.3, 1.0} {
+		src := synthPFOR(rng, 3000, 7, 6, rate)
+		blk := CompressPFOR(src, 7, 6)
+		full := make([]int64, len(src))
+		Decompress(blk, full)
+		var d Decoder[int64]
+		for trial := 0; trial < 500; trial++ {
+			x := rng.Intn(len(src))
+			if got := d.Get(blk, x); got != full[x] {
+				t.Fatalf("rate %.2f: Get(%d) = %d, want %d", rate, x, got, full[x])
+			}
+		}
+		// Boundary positions are the regressions waiting to happen.
+		for _, x := range []int{0, 1, 126, 127, 128, 129, 255, 256, len(src) - 1} {
+			if got := d.Get(blk, x); got != full[x] {
+				t.Fatalf("rate %.2f: Get(boundary %d) = %d, want %d", rate, x, got, full[x])
+			}
+		}
+	}
+}
+
+func TestGetMatchesDecompressPDict(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dict := makeDict(64)
+	src := synthPDict(rng, 2000, dict, 0.2)
+	blk := CompressPDict(src, dict, 6)
+	full := make([]int64, len(src))
+	Decompress(blk, full)
+	var d Decoder[int64]
+	for x := 0; x < len(src); x++ {
+		if got := d.Get(blk, x); got != full[x] {
+			t.Fatalf("Get(%d) = %d, want %d", x, got, full[x])
+		}
+	}
+}
+
+func TestGetMatchesDecompressPFORDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	src := synthMonotonic(rng, 2000, 5, 0.1)
+	blk := CompressPFORDelta(src, 0, 0, 5)
+	full := make([]int64, len(src))
+	Decompress(blk, full)
+	var d Decoder[int64]
+	for x := 0; x < len(src); x++ {
+		if got := d.Get(blk, x); got != full[x] {
+			t.Fatalf("Get(%d) = %d, want %d", x, got, full[x])
+		}
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	blk := CompressPFOR([]int64{1, 2, 3}, 0, 4)
+	for _, x := range []int{-1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d): expected panic", x)
+				}
+			}()
+			Get(blk, x)
+		}()
+	}
+}
+
+func TestDecompressRangeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, scheme := range []string{"pfor", "pdict", "pfordelta"} {
+		src := synthPFOR(rng, 10*GroupSize+57, 0, 8, 0.1)
+		var blk *Block[int64]
+		switch scheme {
+		case "pfor":
+			blk = CompressPFOR(src, 0, 8)
+		case "pdict":
+			dict := makeDict(256)
+			src = synthPDict(rng, len(src), dict, 0.1)
+			blk = CompressPDict(src, dict, 8)
+		case "pfordelta":
+			src = synthMonotonic(rng, len(src), 8, 0.1)
+			blk = CompressPFORDelta(src, 0, 0, 8)
+		}
+		full := make([]int64, len(src))
+		Decompress(blk, full)
+
+		var d Decoder[int64]
+		buf := make([]int64, len(src))
+		for _, r := range [][2]int{{0, GroupSize}, {GroupSize, 3 * GroupSize}, {8 * GroupSize, blk.N}, {0, blk.N}, {2 * GroupSize, 2 * GroupSize}} {
+			lo, hi := r[0], r[1]
+			out := d.DecompressRange(blk, buf, lo, hi)
+			if len(out) != hi-lo {
+				t.Fatalf("%s: range [%d,%d): got %d values", scheme, lo, hi, len(out))
+			}
+			for i := range out {
+				if out[i] != full[lo+i] {
+					t.Fatalf("%s: range [%d,%d): mismatch at offset %d", scheme, lo, hi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressRangeBadArgsPanic(t *testing.T) {
+	blk := CompressPFOR(make([]int64, 1000), 0, 4)
+	var d Decoder[int64]
+	buf := make([]int64, 1000)
+	for _, r := range [][2]int{{1, 128}, {0, 100}, {-128, 0}, {128, 1064}, {256, 128}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v: expected panic", r)
+				}
+			}()
+			d.DecompressRange(blk, buf, r[0], r[1])
+		}()
+	}
+}
+
+func TestDecoderReuseNoCorruption(t *testing.T) {
+	// The same decoder must serve interleaved blocks of different sizes.
+	rng := rand.New(rand.NewSource(45))
+	a := synthPFOR(rng, 5000, 0, 8, 0.1)
+	b := synthPFOR(rng, 100, 0, 8, 0.5)
+	blkA := CompressPFOR(a, 0, 8)
+	blkB := CompressPFOR(b, 0, 8)
+	var d Decoder[int64]
+	bufA := make([]int64, len(a))
+	bufB := make([]int64, len(b))
+	for i := 0; i < 5; i++ {
+		d.Decompress(blkA, bufA)
+		d.Decompress(blkB, bufB)
+	}
+	for i := range a {
+		if bufA[i] != a[i] {
+			t.Fatal("decoder reuse corrupted block A")
+		}
+	}
+	for i := range b {
+		if bufB[i] != b[i] {
+			t.Fatal("decoder reuse corrupted block B")
+		}
+	}
+}
+
+func TestCodeAtMatchesUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, b := range []uint{1, 3, 8, 17, 31, 32} {
+		src := make([]uint64, 700)
+		for i := range src {
+			src[i] = rng.Uint64() & (1<<b - 1) & ((1 << 40) - 1)
+		}
+		blk := CompressPFOR(src, 0, b)
+		raw := make([]uint32, blk.N)
+		unpackAll(blk, raw)
+		var d Decoder[uint64]
+		for x := 0; x < blk.N; x++ {
+			if got := d.codeAt(blk, x); got != raw[x] {
+				t.Fatalf("b=%d: codeAt(%d)=%d, want %d", b, x, got, raw[x])
+			}
+		}
+	}
+}
+
+// TestQuickRoundTripAllSchemes is the umbrella property test: arbitrary
+// int32 data round-trips through every scheme at an analyzer-chosen width.
+func TestQuickRoundTripAllSchemes(t *testing.T) {
+	f := func(raw []int32, widthSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := uint(widthSeed%31) + 1
+		base := raw[0]
+
+		blk := CompressPFOR(raw, base, b)
+		out := make([]int32, len(raw))
+		Decompress(blk, out)
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+
+		blkD := CompressPFORDelta(raw, 0, 0, b)
+		Decompress(blkD, out)
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+
+		// Dictionary of the first few distinct values.
+		seen := map[int32]bool{}
+		var dict []int32
+		for _, v := range raw {
+			if !seen[v] && len(dict) < 1<<min(b, 10) {
+				seen[v] = true
+				dict = append(dict, v)
+			}
+		}
+		blkP := CompressPDict(raw, dict, min(b, 10))
+		Decompress(blkP, out)
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

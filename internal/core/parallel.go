@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DecompressParallel decodes blk into dst using up to workers goroutines,
+// splitting the block on entry-point (group) boundaries. This implements
+// the paper's closing observation that "with the upcoming families of
+// multi-core CPUs ... our high-performance (de-)compression routines can
+// already improve this bandwidth on parallel architectures": every group
+// is self-contained (its patch list restarts at the entry point, and
+// PFOR-DELTA groups carry their running totals), so groups decode
+// independently with zero coordination beyond the final join.
+//
+// workers <= 0 uses GOMAXPROCS. For small blocks the function falls back
+// to the sequential path: goroutine fan-out only pays off past a few
+// hundred groups.
+func DecompressParallel[T Integer](blk *Block[T], dst []T, workers int) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numGroups := blk.NumGroups()
+	if workers == 1 || numGroups < 4*workers || numGroups < 8 {
+		return Decompress(blk, dst)
+	}
+	if len(dst) < blk.N {
+		panic("core: dst too small")
+	}
+
+	groupsPer := (numGroups + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		gLo := w * groupsPer
+		if gLo >= numGroups {
+			break
+		}
+		gHi := min(gLo+groupsPer, numGroups)
+		lo := gLo * GroupSize
+		hi := min(gHi*GroupSize, blk.N)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var d Decoder[T]
+			d.DecompressRange(blk, dst[lo:hi], lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst[:blk.N]
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecompressParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, n := range []int{0, 100, GroupSize, 10*GroupSize + 17, 100_000} {
+		for _, scheme := range []string{"pfor", "pfordelta", "pdict"} {
+			var blk *Block[int64]
+			var src []int64
+			switch scheme {
+			case "pfor":
+				src = synthPFOR(rng, n, 0, 8, 0.1)
+				blk = CompressPFOR(src, 0, 8)
+			case "pfordelta":
+				src = synthMonotonic(rng, n, 8, 0.1)
+				blk = CompressPFORDelta(src, 0, 0, 8)
+			case "pdict":
+				dict := makeDict(256)
+				src = synthPDict(rng, n, dict, 0.1)
+				blk = CompressPDict(src, dict, 8)
+			}
+			seq := make([]int64, n)
+			Decompress(blk, seq)
+			for _, workers := range []int{0, 1, 2, 3, 7} {
+				par := make([]int64, n)
+				DecompressParallel(blk, par, workers)
+				for i := range seq {
+					if par[i] != seq[i] {
+						t.Fatalf("%s n=%d workers=%d: mismatch at %d", scheme, n, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecompressParallelSmallDstPanics(t *testing.T) {
+	src := synthPFOR(rand.New(rand.NewSource(92)), 50*GroupSize, 0, 8, 0.1)
+	blk := CompressPFOR(src, 0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecompressParallel(blk, make([]int64, 10), 4)
+}
+
+func BenchmarkDecompressParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(93))
+	const n = 1 << 22
+	src := synthPFOR(rng, n, 0, 8, 0.05)
+	blk := CompressPFOR(src, 0, 8)
+	dst := make([]int64, n)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchWorkers(workers), func(b *testing.B) {
+			b.SetBytes(8 * n)
+			for i := 0; i < b.N; i++ {
+				DecompressParallel(blk, dst, workers)
+			}
+		})
+	}
+}
+
+func benchWorkers(w int) string {
+	return "workers=" + string(rune('0'+w))
+}

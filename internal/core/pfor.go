@@ -1,0 +1,137 @@
+package core
+
+// This file implements PFOR (Patched Frame-of-Reference). Codes are
+// unsigned offsets from a per-block base value. Unlike standard FOR, the
+// base is not necessarily the block minimum: values below the base (or more
+// than 2^b-1 above it) are stored as exceptions, which lets the analyzer
+// center the codable window on the densest value stretch and handle
+// outliers gracefully.
+
+// CompressPFOR compresses src with Patched Frame-of-Reference using the
+// given base value and code width b. It uses the double-cursor detection
+// loop, which the paper found "the more stable algorithm on all platforms"
+// (Section 3.1, Compression). The variants CompressPFORNaive and
+// CompressPFORPred produce identical blocks with the other two
+// detection-loop styles benchmarked in Figure 5.
+func CompressPFOR[T Integer](src []T, base T, b uint) *Block[T] {
+	return compressPFOR(src, base, b, detectPFORDC[T])
+}
+
+// CompressPFORPred compresses with the single-cursor predicated detection
+// loop (Figure 5, "PRED").
+func CompressPFORPred[T Integer](src []T, base T, b uint) *Block[T] {
+	return compressPFOR(src, base, b, detectPFORPred[T])
+}
+
+// CompressPFORNaive compresses with the branchy if-then-else detection loop
+// (Figure 5, "NAIVE"). The output block is identical; only the inner-loop
+// style differs.
+func CompressPFORNaive[T Integer](src []T, base T, b uint) *Block[T] {
+	return compressPFOR(src, base, b, detectPFORBranchy[T])
+}
+
+func compressPFOR[T Integer](src []T, base T, b uint, detect func([]T, T, uint, []uint32, []int32) []int32) *Block[T] {
+	checkWidth[T](b)
+	checkLen(len(src))
+	blk := &Block[T]{Scheme: SchemePFOR, B: b, N: len(src), Base: base}
+	codes := make([]uint32, len(src))
+	miss := detect(src, base, b, codes, make([]int32, len(src)))
+	finishBlock(blk, codes, miss, func(pos int) T { return src[pos] })
+	return blk
+}
+
+// detectPFORPred is the paper's LOOP1 with predication: the current
+// position is always appended to the miss list and the list cursor is
+// incremented with a boolean, turning the control dependency into a data
+// dependency.
+func detectPFORPred[T Integer](src []T, base T, b uint, codes []uint32, miss []int32) []int32 {
+	mask := typeMask[T]()
+	maxc := maxCode(b)
+	j := 0
+	for i := 0; i < len(src); i++ {
+		v := src[i]
+		ud := uint64(v-base) & mask
+		codes[i] = uint32(ud)
+		miss[j] = int32(i)
+		j += b2i(v < base || ud > maxc)
+	}
+	return miss[:j]
+}
+
+// detectPFORDC is the double-cursor variant (Figure 5, "DC"): two cursors
+// run through the input, one from the start and one from halfway, giving
+// the CPU two independent dependency chains. The two miss lists are
+// concatenated afterwards (every position in the second list is greater
+// than every position in the first, so the result stays sorted).
+func detectPFORDC[T Integer](src []T, base T, b uint, codes []uint32, miss []int32) []int32 {
+	n := len(src)
+	m := n / 2
+	mask := typeMask[T]()
+	maxc := maxCode(b)
+
+	missLo := miss[:0]
+	missHi := make([]int32, n-m)
+	j0, jm := 0, 0
+	for i := 0; i < m; i++ {
+		v0 := src[i]
+		vm := src[i+m]
+		ud0 := uint64(v0-base) & mask
+		udm := uint64(vm-base) & mask
+		codes[i] = uint32(ud0)
+		codes[i+m] = uint32(udm)
+		miss[j0] = int32(i)
+		missHi[jm] = int32(i + m)
+		j0 += b2i(v0 < base || ud0 > maxc)
+		jm += b2i(vm < base || udm > maxc)
+	}
+	if n%2 == 1 {
+		// Odd tail: one straggler handled by the high cursor.
+		i := n - 1
+		v := src[i]
+		ud := uint64(v-base) & mask
+		codes[i] = uint32(ud)
+		missHi[jm] = int32(i)
+		jm += b2i(v < base || ud > maxc)
+	}
+	missLo = miss[:j0]
+	return append(missLo, missHi[:jm]...)
+}
+
+// detectPFORBranchy is the NAIVE detection loop with an if-then-else in the
+// hot path, kept as the Figure-5 baseline.
+func detectPFORBranchy[T Integer](src []T, base T, b uint, codes []uint32, miss []int32) []int32 {
+	mask := typeMask[T]()
+	maxc := maxCode(b)
+	j := 0
+	for i := 0; i < len(src); i++ {
+		v := src[i]
+		ud := uint64(v-base) & mask
+		if v < base || ud > maxc {
+			miss[j] = int32(i)
+			j++
+		} else {
+			codes[i] = uint32(ud)
+		}
+	}
+	return miss[:j]
+}
+
+// decompressPFOR is the two-loop patch decompression of Section 3.1:
+// LOOP1 decodes every slot regardless of whether it is an exception,
+// LOOP2 patches the exceptions in.
+func decompressPFOR[T Integer](blk *Block[T], raw []uint32, dst []T) {
+	base := blk.Base
+	// LOOP1: decode regardless.
+	for i, c := range raw[:blk.N] {
+		dst[i] = base + T(c)
+	}
+	// LOOP2: patch it up.
+	patchGroups(blk, raw, dst)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthPFOR produces n values where approximately excRate of them fall
+// outside the b-bit frame starting at base — the synthetic data of the
+// paper's microbenchmarks (Section 3.1: "This data is synthetic, such that
+// we could carefully monitor the performance of our algorithms under
+// various degrees of skew").
+func synthPFOR(rng *rand.Rand, n int, base int64, b uint, excRate float64) []int64 {
+	vals := make([]int64, n)
+	window := int64(1) << b
+	for i := range vals {
+		if rng.Float64() < excRate {
+			// Outlier: far above the frame, or below the base.
+			if rng.Intn(4) == 0 {
+				vals[i] = base - 1 - rng.Int63n(1000)
+			} else {
+				vals[i] = base + window + rng.Int63n(1<<40)
+			}
+		} else {
+			vals[i] = base + rng.Int63n(window-1)
+		}
+	}
+	return vals
+}
+
+func checkRoundTrip[T Integer](t *testing.T, blk *Block[T], want []T) {
+	t.Helper()
+	got := make([]T, len(want))
+	Decompress(blk, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-trip mismatch at %d: got %v want %v (scheme %v b=%d)", i, got[i], want[i], blk.Scheme, blk.B)
+		}
+	}
+}
+
+func TestPFORRoundTripBasic(t *testing.T) {
+	src := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2}
+	// b=3 with base 0: digits >= 8 become exceptions (the paper's Figure 3
+	// example: the digits of pi with 3-bit PFOR, min_coded = 0).
+	blk := CompressPFOR(src, 0, 3)
+	if blk.ExceptionCount() != 4 {
+		t.Errorf("pi digits at b=3: got %d exceptions, want 4 (the four values >= 8)", blk.ExceptionCount())
+	}
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORRoundTripExceptionRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, rate := range []float64{0, 0.01, 0.05, 0.1, 0.3, 0.5, 0.9, 1.0} {
+		for _, b := range []uint{1, 2, 3, 5, 8, 13, 24} {
+			for _, n := range []int{0, 1, 127, 128, 129, 1000, 4096} {
+				src := synthPFOR(rng, n, 100, b, rate)
+				blk := CompressPFOR(src, 100, b)
+				checkRoundTrip(t, blk, src)
+			}
+		}
+	}
+}
+
+func TestPFORVariantsProduceIdenticalBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := synthPFOR(rng, 2000, -50, 6, 0.15)
+	dc := CompressPFOR(src, -50, 6)
+	pred := CompressPFORPred(src, -50, 6)
+	naive := CompressPFORNaive(src, -50, 6)
+	for name, other := range map[string]*Block[int64]{"pred": pred, "naive": naive} {
+		if len(other.Exc) != len(dc.Exc) {
+			t.Fatalf("%s: %d exceptions vs %d", name, len(other.Exc), len(dc.Exc))
+		}
+		for i := range dc.Codes {
+			if other.Codes[i] != dc.Codes[i] {
+				t.Fatalf("%s: code word %d differs", name, i)
+			}
+		}
+		for i := range dc.Entries {
+			if other.Entries[i] != dc.Entries[i] {
+				t.Fatalf("%s: entry %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestPFORBaseNotMinimum(t *testing.T) {
+	// Values below the base must round-trip as exceptions — this is what
+	// distinguishes PFOR from FOR.
+	src := []int32{50, 60, 70, 10, 55, 65, 5, 58}
+	blk := CompressPFOR(src, 50, 5)
+	if blk.ExceptionCount() < 2 {
+		t.Fatalf("want >= 2 exceptions for below-base values, got %d", blk.ExceptionCount())
+	}
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORAllExceptions(t *testing.T) {
+	src := make([]int64, 500)
+	for i := range src {
+		src[i] = int64(1_000_000 + i*7919)
+	}
+	blk := CompressPFOR(src, 0, 1) // everything is an outlier
+	if blk.ExceptionCount() != len(src) {
+		t.Fatalf("want all %d values as exceptions, got %d", len(src), blk.ExceptionCount())
+	}
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORCompulsoryExceptions(t *testing.T) {
+	// One natural exception at each end of a group, b=1: the gap limit is
+	// 2, so the chain must contain many compulsory links.
+	src := make([]int64, GroupSize)
+	for i := range src {
+		src[i] = int64(i % 2)
+	}
+	src[0] = 1000
+	src[GroupSize-1] = 2000
+	blk := CompressPFOR(src, 0, 1)
+	if blk.ExceptionCount() < GroupSize/2 {
+		t.Fatalf("b=1 with exceptions at both ends needs ~%d compulsory links, got %d", GroupSize/2, blk.ExceptionCount())
+	}
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORNoCompulsoryAcrossGroups(t *testing.T) {
+	// Exceptions in different groups never need linking: the lists restart
+	// at every entry point.
+	src := make([]int64, 3*GroupSize)
+	src[5] = 1 << 40        // group 0
+	src[2*GroupSize+7] = -9 // group 2
+	blk := CompressPFOR(src, 0, 1)
+	if blk.ExceptionCount() != 2 {
+		t.Fatalf("want exactly 2 exceptions (no cross-group compulsories), got %d", blk.ExceptionCount())
+	}
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORGapNeverExceedsLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, b := range []uint{1, 2, 3, 4, 7} {
+		src := synthPFOR(rng, 4096, 0, b, 0.02)
+		blk := CompressPFOR(src, 0, b)
+		raw := make([]uint32, blk.N)
+		var d Decoder[int64]
+		_ = d // decode path validates structure implicitly; here check gaps directly
+		rawCodes := unpackAll(blk, raw)
+		maxGap := int(min64(maxCode(b)+1, GroupSize))
+		for g := 0; g < blk.NumGroups(); g++ {
+			es, ee := blk.groupExc(g)
+			pos := g*GroupSize + blk.patchStart(g)
+			for k := es; k < ee; k++ {
+				gap := int(rawCodes[pos]) + 1
+				if k+1 < ee && gap > maxGap {
+					t.Fatalf("b=%d group %d: link gap %d exceeds 2^b=%d", b, g, gap, maxGap)
+				}
+				pos += gap
+			}
+		}
+		checkRoundTrip(t, blk, src)
+	}
+}
+
+func unpackAll[T Integer](blk *Block[T], raw []uint32) []uint32 {
+	for g := 0; g < blk.NumGroups(); g++ {
+		gStart := g * GroupSize
+		gEnd := gStart + GroupSize
+		if gEnd > blk.N {
+			gEnd = blk.N
+		}
+		unpackGroup(blk, g, gEnd-gStart, raw[gStart:])
+	}
+	return raw
+}
+
+func TestPFORSignedNarrowTypes(t *testing.T) {
+	// Wrapping differences in narrow signed types must stay exact.
+	src := []int8{-128, 127, -1, 0, 1, -100, 100}
+	blk := CompressPFOR(src, -128, 4)
+	checkRoundTrip(t, blk, src)
+
+	src16 := []int16{-32768, 32767, 0, -5, 5}
+	blk16 := CompressPFOR(src16, -32768, 8)
+	checkRoundTrip(t, blk16, src16)
+}
+
+func TestPFORUnsignedFullRange(t *testing.T) {
+	src := []uint64{0, ^uint64(0), 1 << 63, 42, 43, 44, 45, 46}
+	blk := CompressPFOR(src, 42, 4)
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORWidth32(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]uint64, 1000)
+	for i := range src {
+		src[i] = uint64(rng.Uint32())
+	}
+	src[17] = 1 << 62 // one outlier
+	blk := CompressPFOR(src, 0, 32)
+	checkRoundTrip(t, blk, src)
+}
+
+func TestPFORRatioReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := synthPFOR(rng, 100_000, 0, 8, 0.01)
+	blk := CompressPFOR(src, 0, 8)
+	r := blk.Ratio()
+	// 64-bit values in 8-bit codes with ~1% exceptions: ratio should be
+	// close to 8 and certainly above 5.
+	if r < 5 || r > 8.2 {
+		t.Fatalf("ratio %.2f outside plausible [5, 8.2] for 64->8-bit with 1%% exceptions", r)
+	}
+}
+
+func TestPFORInvalidWidthPanics(t *testing.T) {
+	for _, b := range []uint{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d: expected panic", b)
+				}
+			}()
+			CompressPFOR([]int64{1}, 0, b)
+		}()
+	}
+	// Width wider than the element type must panic too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("width 16 on int8: expected panic")
+			}
+		}()
+		CompressPFOR([]int8{1}, 0, 16)
+	}()
+}
+
+func TestNaiveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, rate := range []float64{0, 0.2, 0.5, 1.0} {
+		src := synthPFOR(rng, 3000, 10, 8, rate)
+		blk := CompressNaive(src, 10, 8)
+		raw := make([]uint32, len(src))
+		dst := make([]T64, len(src))
+		blk.Decompress(raw, dst)
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("rate %.1f: mismatch at %d", rate, i)
+			}
+		}
+	}
+}
+
+type T64 = int64
+
+func TestNaiveEscapeReservesCode(t *testing.T) {
+	// With b=3, code 7 is the escape: value base+7 must become an
+	// exception even though it fits 3 bits.
+	src := []int64{0, 7, 3}
+	blk := CompressNaive(src, 0, 3)
+	if blk.ExceptionCount() != 1 {
+		t.Fatalf("value==MAXCODE must escape: got %d exceptions, want 1", blk.ExceptionCount())
+	}
+	raw := make([]uint32, 3)
+	dst := make([]int64, 3)
+	blk.Decompress(raw, dst)
+	if dst[1] != 7 {
+		t.Fatalf("escaped value decoded to %d", dst[1])
+	}
+}
+
+func TestNaiveDictRoundTrip(t *testing.T) {
+	dict := []int64{100, 200, 300}
+	src := []int64{100, 300, 999, 200, 100, -5}
+	blk := CompressNaiveDict(src, dict, 2)
+	raw := make([]uint32, len(src))
+	dst := make([]int64, len(src))
+	blk.Decompress(raw, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("mismatch at %d: got %d want %d", i, dst[i], src[i])
+		}
+	}
+	if blk.ExceptionCount() != 2 {
+		t.Fatalf("want 2 exceptions, got %d", blk.ExceptionCount())
+	}
+}

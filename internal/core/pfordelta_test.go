@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthMonotonic produces a monotonically increasing sequence whose gaps are
+// mostly small (codable in b bits) with occasional large jumps — the d-gap
+// structure of inverted files.
+func synthMonotonic(rng *rand.Rand, n int, b uint, excRate float64) []int64 {
+	vals := make([]int64, n)
+	acc := int64(0)
+	window := int64(1) << b
+	for i := range vals {
+		if rng.Float64() < excRate {
+			acc += window + rng.Int63n(1<<30)
+		} else {
+			acc += rng.Int63n(window - 1)
+		}
+		vals[i] = acc
+	}
+	return vals
+}
+
+func TestPFORDeltaRoundTripBasic(t *testing.T) {
+	src := []int64{10, 12, 13, 20, 21, 22, 1000, 1001, 1002}
+	blk := CompressPFORDelta(src, 10, 0, 4)
+	checkRoundTrip(t, blk, src)
+	// The 10->nothing start delta is 0 (base==first value), 13->20 gap of 7
+	// fits, 22->1000 jump must be an exception.
+	if blk.ExceptionCount() != 1 {
+		t.Fatalf("want 1 exception for the large jump, got %d", blk.ExceptionCount())
+	}
+}
+
+func TestPFORDeltaRoundTripRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, rate := range []float64{0, 0.02, 0.1, 0.5, 1.0} {
+		for _, b := range []uint{1, 3, 7, 16} {
+			for _, n := range []int{0, 1, 127, 128, 129, 2500} {
+				src := synthMonotonic(rng, n, b, rate)
+				blk := CompressPFORDelta(src, 0, 0, b)
+				checkRoundTrip(t, blk, src)
+			}
+		}
+	}
+}
+
+func TestPFORDeltaNegativeDeltas(t *testing.T) {
+	// Non-monotonic data: deltas straddle zero. A negative DeltaBase keeps
+	// small negative deltas codable.
+	src := []int64{100, 98, 101, 99, 102, 100, 103}
+	blk := CompressPFORDelta(src, 100, -3, 3)
+	checkRoundTrip(t, blk, src)
+	if blk.ExceptionCount() != 0 {
+		t.Fatalf("deltas in [-3,4] with DeltaBase=-3 b=3 need no exceptions, got %d", blk.ExceptionCount())
+	}
+}
+
+func TestPFORDeltaWrapAround(t *testing.T) {
+	// Differences that wrap the type domain must still round-trip: the
+	// running sum wraps back.
+	src := []uint8{250, 5, 250, 5}
+	blk := CompressPFORDelta(src, 0, 0, 4)
+	checkRoundTrip(t, blk, src)
+
+	srcI := []int64{1 << 62, -(1 << 62), 1 << 62}
+	blkI := CompressPFORDelta(srcI, 0, 0, 8)
+	checkRoundTrip(t, blkI, srcI)
+}
+
+func TestPFORDeltaTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	src := synthMonotonic(rng, 1000, 5, 0.05)
+	blk := CompressPFORDelta(src, 0, 0, 5)
+	if len(blk.Totals) != blk.NumGroups() {
+		t.Fatalf("Totals has %d entries, want %d", len(blk.Totals), blk.NumGroups())
+	}
+	for g := 1; g < blk.NumGroups(); g++ {
+		if blk.Totals[g] != src[g*GroupSize-1] {
+			t.Fatalf("Totals[%d] = %d, want %d", g, blk.Totals[g], src[g*GroupSize-1])
+		}
+	}
+}
+
+func TestPFORDeltaChainedBlocks(t *testing.T) {
+	// Compressing a long sequence as consecutive blocks chained via base.
+	rng := rand.New(rand.NewSource(34))
+	src := synthMonotonic(rng, 10_000, 6, 0.03)
+	const blockLen = 4096
+	var got []int64
+	base := int64(0)
+	for lo := 0; lo < len(src); lo += blockLen {
+		hi := min(lo+blockLen, len(src))
+		blk := CompressPFORDelta(src[lo:hi], base, 0, 6)
+		out := make([]int64, hi-lo)
+		Decompress(blk, out)
+		got = append(got, out...)
+		base = src[hi-1]
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("chained mismatch at %d", i)
+		}
+	}
+}

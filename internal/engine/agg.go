@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"container/heap"
+	"slices"
+	"sort"
+)
+
+// AggKind selects an aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate over an input column (ignored for AggCount).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// HashAgg groups by a set of key columns and computes aggregates. Output
+// columns are the keys followed by the aggregates, in group-first-seen
+// order unless Sorted is requested at construction.
+type HashAgg struct {
+	child  Operator
+	keys   []int
+	aggs   []AggSpec
+	sorted bool
+
+	done bool
+	out  *SliceSource
+}
+
+// NewHashAgg builds a grouped aggregation. sorted=true sorts the output by
+// the key columns (lexicographic), which TPC-H result orderings need.
+func NewHashAgg(child Operator, keys []int, aggs []AggSpec, sorted bool) *HashAgg {
+	return &HashAgg{child: child, keys: keys, aggs: aggs, sorted: sorted}
+}
+
+type aggGroup struct {
+	key  []int64
+	vals []int64 // one per agg; Min/Max seeded at first touch
+	seen bool
+}
+
+// Next drains the child on first call and then replays the grouped result.
+func (h *HashAgg) Next() *Batch {
+	if !h.done {
+		h.run()
+		h.done = true
+	}
+	return h.out.Next()
+}
+
+func (h *HashAgg) run() {
+	groups := make(map[uint64][]*aggGroup)
+	var order []*aggGroup
+
+	key := make([]int64, len(h.keys))
+	for {
+		b := h.child.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			hash := uint64(14695981039346656037)
+			for k, kc := range h.keys {
+				key[k] = b.Cols[kc][i]
+				hash = (hash ^ uint64(key[k])) * 1099511628211
+			}
+			var g *aggGroup
+			for _, cand := range groups[hash] {
+				if slices.Equal(cand.key, key) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &aggGroup{key: slices.Clone(key), vals: make([]int64, len(h.aggs))}
+				groups[hash] = append(groups[hash], g)
+				order = append(order, g)
+			}
+			for a, spec := range h.aggs {
+				switch spec.Kind {
+				case AggSum:
+					g.vals[a] += b.Cols[spec.Col][i]
+				case AggCount:
+					g.vals[a]++
+				case AggMin:
+					if v := b.Cols[spec.Col][i]; !g.seen || v < g.vals[a] {
+						g.vals[a] = v
+					}
+				case AggMax:
+					if v := b.Cols[spec.Col][i]; !g.seen || v > g.vals[a] {
+						g.vals[a] = v
+					}
+				}
+			}
+			g.seen = true
+		}
+	}
+
+	if h.sorted {
+		sort.Slice(order, func(i, j int) bool {
+			return slices.Compare(order[i].key, order[j].key) < 0
+		})
+	}
+	arity := len(h.keys) + len(h.aggs)
+	cols := make([][]int64, arity)
+	for _, g := range order {
+		for k := range h.keys {
+			cols[k] = append(cols[k], g.key[k])
+		}
+		for a := range h.aggs {
+			cols[len(h.keys)+a] = append(cols[len(h.keys)+a], g.vals[a])
+		}
+	}
+	h.out = NewSliceSource(cols)
+}
+
+// OrderedAgg aggregates input already grouped on a single key column
+// (consecutive equal keys form a group) — the streaming aggregation used
+// after a merge join on a sorted key (Section 5's retrieval query).
+type OrderedAgg struct {
+	child Operator
+	key   int
+	aggs  []AggSpec
+	out   *Batch
+
+	pending   *Batch
+	pendPos   int
+	curKey    int64
+	curVals   []int64
+	curActive bool
+}
+
+// NewOrderedAgg builds a streaming single-key aggregation.
+func NewOrderedAgg(child Operator, key int, aggs []AggSpec) *OrderedAgg {
+	return &OrderedAgg{
+		child: child, key: key, aggs: aggs,
+		out:     NewBatch(1+len(aggs), BatchSize),
+		curVals: make([]int64, len(aggs)),
+	}
+}
+
+// Next emits completed groups.
+func (o *OrderedAgg) Next() *Batch {
+	n := 0
+	emit := func() {
+		o.out.Cols[0][n] = o.curKey
+		for a := range o.aggs {
+			o.out.Cols[1+a][n] = o.curVals[a]
+		}
+		n++
+	}
+	for n < BatchSize {
+		if o.pending == nil {
+			o.pending = o.child.Next()
+			o.pendPos = 0
+			if o.pending == nil {
+				if o.curActive {
+					emit()
+					o.curActive = false
+				}
+				break
+			}
+		}
+		b := o.pending
+		for ; o.pendPos < b.N && n < BatchSize; o.pendPos++ {
+			i := o.pendPos
+			k := b.Cols[o.key][i]
+			if !o.curActive || k != o.curKey {
+				if o.curActive {
+					emit()
+				}
+				o.curActive = true
+				o.curKey = k
+				for a, spec := range o.aggs {
+					switch spec.Kind {
+					case AggCount:
+						o.curVals[a] = 0
+					case AggSum:
+						o.curVals[a] = 0
+					default:
+						o.curVals[a] = b.Cols[spec.Col][i]
+					}
+				}
+			}
+			for a, spec := range o.aggs {
+				switch spec.Kind {
+				case AggSum:
+					o.curVals[a] += b.Cols[spec.Col][i]
+				case AggCount:
+					o.curVals[a]++
+				case AggMin:
+					if v := b.Cols[spec.Col][i]; v < o.curVals[a] {
+						o.curVals[a] = v
+					}
+				case AggMax:
+					if v := b.Cols[spec.Col][i]; v > o.curVals[a] {
+						o.curVals[a] = v
+					}
+				}
+			}
+		}
+		if o.pendPos >= b.N {
+			o.pending = nil
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	o.out.N = n
+	return o.out
+}
+
+// --- TopN -------------------------------------------------------------------
+
+// TopN keeps the n rows with the largest (desc=true) or smallest value in
+// the order column, emitting them sorted.
+type TopN struct {
+	child Operator
+	col   int
+	n     int
+	desc  bool
+	done  bool
+	out   *SliceSource
+}
+
+// NewTopN builds a heap-based top-N.
+func NewTopN(child Operator, orderCol, n int, desc bool) *TopN {
+	return &TopN{child: child, col: orderCol, n: n, desc: desc}
+}
+
+type topnRow struct {
+	order int64
+	row   []int64
+}
+
+type topnHeap struct {
+	rows []topnRow
+	desc bool
+}
+
+func (h *topnHeap) Len() int { return len(h.rows) }
+func (h *topnHeap) Less(i, j int) bool {
+	// For desc (keep largest), the heap root is the smallest kept value.
+	if h.desc {
+		return h.rows[i].order < h.rows[j].order
+	}
+	return h.rows[i].order > h.rows[j].order
+}
+func (h *topnHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topnHeap) Push(x any)    { h.rows = append(h.rows, x.(topnRow)) }
+func (h *topnHeap) Pop() any {
+	x := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return x
+}
+
+// Next drains the child on first call and replays the top rows in order.
+func (t *TopN) Next() *Batch {
+	if !t.done {
+		t.run()
+		t.done = true
+	}
+	return t.out.Next()
+}
+
+func (t *TopN) run() {
+	h := &topnHeap{desc: t.desc}
+	arity := 0
+	for {
+		b := t.child.Next()
+		if b == nil {
+			break
+		}
+		arity = len(b.Cols)
+		for i := 0; i < b.N; i++ {
+			v := b.Cols[t.col][i]
+			if h.Len() < t.n {
+				row := make([]int64, arity)
+				for c := range b.Cols {
+					row[c] = b.Cols[c][i]
+				}
+				heap.Push(h, topnRow{v, row})
+				continue
+			}
+			better := (t.desc && v > h.rows[0].order) || (!t.desc && v < h.rows[0].order)
+			if better {
+				row := make([]int64, arity)
+				for c := range b.Cols {
+					row[c] = b.Cols[c][i]
+				}
+				h.rows[0] = topnRow{v, row}
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	rows := h.rows
+	sort.Slice(rows, func(i, j int) bool {
+		if t.desc {
+			return rows[i].order > rows[j].order
+		}
+		return rows[i].order < rows[j].order
+	})
+	cols := make([][]int64, arity)
+	for _, r := range rows {
+		for c := 0; c < arity; c++ {
+			cols[c] = append(cols[c], r.row[c])
+		}
+	}
+	t.out = NewSliceSource(cols)
+}

@@ -1,0 +1,184 @@
+// Package engine is a vectorized (MonetDB/X100-style) query engine: a
+// Volcano operator pipeline whose Next() yields not one tuple but a vector
+// of ~1000 tuples, so that primitive functions are tight loops over arrays
+// (Section 2.3). All values are int64 at this layer — strings arrive
+// dictionary-encoded, decimals scaled, dates as day numbers — matching the
+// enumerated-storage convention the compression layer relies on.
+package engine
+
+import "fmt"
+
+// BatchSize is the default vector length.
+const BatchSize = 1024
+
+// Batch is one vector of tuples: parallel columns of equal length N.
+// Batches returned by Next are owned by the producing operator and are
+// valid only until the next call to Next.
+type Batch struct {
+	Cols [][]int64
+	N    int
+}
+
+// NewBatch allocates a batch with the given arity and capacity.
+func NewBatch(arity, capacity int) *Batch {
+	b := &Batch{Cols: make([][]int64, arity)}
+	for i := range b.Cols {
+		b.Cols[i] = make([]int64, capacity)
+	}
+	return b
+}
+
+// Operator is the vectorized Volcano interface.
+type Operator interface {
+	// Next returns the next batch, or nil when the input is exhausted.
+	Next() *Batch
+}
+
+// --- selection primitives --------------------------------------------------
+
+// The selection primitives follow the predicated style of Section 3.1: the
+// candidate row index is always written and the output cursor advances by
+// the boolean outcome, so the loop carries no data-dependent branch.
+
+// SelTrue fills sel with all row indices [0,n).
+func SelTrue(n int, sel []int32) []int32 {
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	return sel
+}
+
+// SelGE keeps candidates where col[i] >= k.
+func SelGE(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] >= k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelLT keeps candidates where col[i] < k.
+func SelLT(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] < k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelLE keeps candidates where col[i] <= k.
+func SelLE(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] <= k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelGT keeps candidates where col[i] > k.
+func SelGT(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] > k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelEq keeps candidates where col[i] == k.
+func SelEq(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] == k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelNe keeps candidates where col[i] != k.
+func SelNe(col []int64, k int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if col[i] != k {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelColLT keeps candidates where a[i] < b[i].
+func SelColLT(a, b []int64, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if a[i] < b[i] {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// SelIn keeps candidates where col[i] is in set.
+func SelIn(col []int64, set map[int64]bool, cand []int32, out []int32) []int32 {
+	j := 0
+	for _, i := range cand {
+		out[j] = i
+		if set[col[i]] {
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// --- map (projection) primitives -------------------------------------------
+
+// MapAddConst writes a[i]+k.
+func MapAddConst(dst, a []int64, k int64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] + k
+	}
+}
+
+// MapMul writes a[i]*b[i].
+func MapMul(dst, a, b []int64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// MapSubConstRev writes k-a[i] (e.g. 100-discount for scaled decimals).
+func MapSubConstRev(dst, a []int64, k int64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = k - a[i]
+	}
+}
+
+// MapMulConst writes a[i]*k.
+func MapMulConst(dst, a []int64, k int64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] * k
+	}
+}
+
+// --- error helper -----------------------------------------------------------
+
+func checkArity(got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("engine: arity %d, want %d", got, want))
+	}
+}

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func src(cols ...[]int64) *SliceSource { return NewSliceSource(cols) }
+
+func seq(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	return v
+}
+
+func TestSliceSourceRoundTrip(t *testing.T) {
+	a := seq(2500) // crosses batch boundaries
+	out := Materialize(src(a), 1)
+	if !slices.Equal(out[0], a) {
+		t.Fatal("slice source mangled data")
+	}
+}
+
+func TestSelectCompacts(t *testing.T) {
+	a := seq(3000)
+	op := NewSelect(src(a), 1, FilterGE(0, 1000), FilterLT(0, 2000))
+	out := Materialize(op, 1)
+	if len(out[0]) != 1000 {
+		t.Fatalf("got %d rows, want 1000", len(out[0]))
+	}
+	for i, v := range out[0] {
+		if v != int64(1000+i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+}
+
+func TestSelectEmptyResult(t *testing.T) {
+	op := NewSelect(src(seq(100)), 1, FilterGT(0, 1000))
+	if b := op.Next(); b != nil {
+		t.Fatal("expected empty result")
+	}
+}
+
+func TestSelectAllFilters(t *testing.T) {
+	n := 5000
+	rng := rand.New(rand.NewSource(1))
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(100)
+		b[i] = rng.Int63n(100)
+	}
+	set := map[int64]bool{3: true, 7: true, 11: true}
+	op := NewSelect(src(a, b), 2,
+		FilterNe(0, 50), FilterLE(0, 90), FilterEq(1, b[0]), FilterIn(0, set), FilterColLT(0, 1))
+	got := Materialize(op, 2)
+	// Reference scalar implementation.
+	var want []int64
+	for i := range a {
+		if a[i] != 50 && a[i] <= 90 && b[i] == b[0] && set[a[i]] && a[i] < b[i] {
+			want = append(want, a[i])
+		}
+	}
+	if !slices.Equal(got[0], want) {
+		t.Fatalf("select mismatch: got %d rows want %d", len(got[0]), len(want))
+	}
+}
+
+func TestProjectRevenue(t *testing.T) {
+	price := []int64{10000, 20000}
+	disc := []int64{5, 10} // percent
+	op := NewProject(src(price, disc), Revenue(0, 1), Col(0), ConstProj(7))
+	out := Materialize(op, 3)
+	if out[0][0] != 10000*95 || out[0][1] != 20000*90 {
+		t.Fatalf("revenue: %v", out[0])
+	}
+	if out[1][0] != 10000 || out[2][1] != 7 {
+		t.Fatal("Col/Const projections")
+	}
+}
+
+func TestHashAggSumCount(t *testing.T) {
+	key := []int64{1, 2, 1, 3, 2, 1}
+	val := []int64{10, 20, 30, 40, 50, 60}
+	op := NewHashAgg(src(key, val), []int{0},
+		[]AggSpec{{AggSum, 1}, {AggCount, 0}, {AggMin, 1}, {AggMax, 1}}, true)
+	out := Materialize(op, 5)
+	if !slices.Equal(out[0], []int64{1, 2, 3}) {
+		t.Fatalf("keys: %v", out[0])
+	}
+	if !slices.Equal(out[1], []int64{100, 70, 40}) {
+		t.Fatalf("sums: %v", out[1])
+	}
+	if !slices.Equal(out[2], []int64{3, 2, 1}) {
+		t.Fatalf("counts: %v", out[2])
+	}
+	if !slices.Equal(out[3], []int64{10, 20, 40}) {
+		t.Fatalf("mins: %v", out[3])
+	}
+	if !slices.Equal(out[4], []int64{60, 50, 40}) {
+		t.Fatalf("maxs: %v", out[4])
+	}
+}
+
+func TestHashAggMultiKeyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20_000
+	k1 := make([]int64, n)
+	k2 := make([]int64, n)
+	v := make([]int64, n)
+	for i := range k1 {
+		k1[i] = rng.Int63n(5)
+		k2[i] = rng.Int63n(7)
+		v[i] = rng.Int63n(1000)
+	}
+	out := Materialize(NewHashAgg(src(k1, k2, v), []int{0, 1}, []AggSpec{{AggSum, 2}}, true), 3)
+
+	ref := map[[2]int64]int64{}
+	for i := range k1 {
+		ref[[2]int64{k1[i], k2[i]}] += v[i]
+	}
+	if len(out[0]) != len(ref) {
+		t.Fatalf("%d groups, want %d", len(out[0]), len(ref))
+	}
+	for i := range out[0] {
+		if got := out[2][i]; got != ref[[2]int64{out[0][i], out[1][i]}] {
+			t.Fatalf("group (%d,%d): sum %d", out[0][i], out[1][i], got)
+		}
+	}
+	// Sorted output: keys ascending lexicographically.
+	for i := 1; i < len(out[0]); i++ {
+		if out[0][i] < out[0][i-1] || (out[0][i] == out[0][i-1] && out[1][i] <= out[1][i-1]) {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestOrderedAggMatchesHashAgg(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10_000
+	key := make([]int64, n)
+	val := make([]int64, n)
+	k := int64(0)
+	for i := range key {
+		if rng.Intn(4) == 0 {
+			k++
+		}
+		key[i] = k
+		val[i] = rng.Int63n(100)
+	}
+	ord := Materialize(NewOrderedAgg(src(key, val), 0, []AggSpec{{AggSum, 1}, {AggCount, 0}}), 3)
+	hsh := Materialize(NewHashAgg(src(key, val), []int{0}, []AggSpec{{AggSum, 1}, {AggCount, 0}}, true), 3)
+	for c := 0; c < 3; c++ {
+		if !slices.Equal(ord[c], hsh[c]) {
+			t.Fatalf("col %d differs", c)
+		}
+	}
+}
+
+func TestOrderedAggEmpty(t *testing.T) {
+	op := NewOrderedAgg(src([]int64{}), 0, []AggSpec{{AggCount, 0}})
+	if op.Next() != nil {
+		t.Fatal("empty input")
+	}
+}
+
+func TestTopNDescAsc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = rng.Int63n(1_000_000)
+	}
+	id := seq(n)
+
+	top := Materialize(NewTopN(src(v, id), 0, 10, true), 2)
+	sorted := slices.Clone(v)
+	slices.Sort(sorted)
+	for i := 0; i < 10; i++ {
+		if top[0][i] != sorted[n-1-i] {
+			t.Fatalf("desc top %d: %d want %d", i, top[0][i], sorted[n-1-i])
+		}
+	}
+
+	bot := Materialize(NewTopN(src(v, id), 0, 10, false), 2)
+	for i := 0; i < 10; i++ {
+		if bot[0][i] != sorted[i] {
+			t.Fatalf("asc top %d: %d want %d", i, bot[0][i], sorted[i])
+		}
+	}
+}
+
+func TestTopNFewerRowsThanN(t *testing.T) {
+	out := Materialize(NewTopN(src([]int64{3, 1, 2}), 0, 10, true), 1)
+	if !slices.Equal(out[0], []int64{3, 2, 1}) {
+		t.Fatalf("got %v", out[0])
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	// build: (key, name), probe: (fk, val)
+	bk := []int64{1, 2, 3}
+	bn := []int64{100, 200, 300}
+	pk := []int64{2, 9, 1, 2}
+	pv := []int64{20, 90, 10, 21}
+	j := NewHashJoin(src(bk, bn), src(pk, pv), 0, 0, []int{1}, []int{1})
+	out := Materialize(j, 2)
+	// Expect rows for fk 2, 1, 2 (9 unmatched): vals (20,200),(10,100),(21,200).
+	if !slices.Equal(out[0], []int64{20, 10, 21}) || !slices.Equal(out[1], []int64{200, 100, 200}) {
+		t.Fatalf("join result: %v %v", out[0], out[1])
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	bk := []int64{5, 5}
+	bv := []int64{1, 2}
+	pk := []int64{5}
+	pv := []int64{50}
+	out := Materialize(NewHashJoin(src(bk, bv), src(pk, pv), 0, 0, []int{1}, []int{1}), 2)
+	if len(out[0]) != 2 {
+		t.Fatalf("1-to-many: %d rows", len(out[0]))
+	}
+}
+
+func TestHashJoinMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nb, np := 1000, 20_000
+	bk, bv := make([]int64, nb), make([]int64, nb)
+	for i := range bk {
+		bk[i] = int64(i * 2) // even keys only
+		bv[i] = rng.Int63n(1000)
+	}
+	pk, pv := make([]int64, np), make([]int64, np)
+	for i := range pk {
+		pk[i] = rng.Int63n(int64(nb * 2))
+		pv[i] = rng.Int63n(1000)
+	}
+	out := Materialize(NewHashJoin(src(bk, bv), src(pk, pv), 0, 0, []int{1}, []int{1}), 2)
+	matches := 0
+	for _, k := range pk {
+		if k%2 == 0 && k < int64(nb*2) {
+			matches++
+		}
+	}
+	if len(out[0]) != matches {
+		t.Fatalf("join rows %d, want %d", len(out[0]), matches)
+	}
+}
+
+func TestMergeJoinOneToMany(t *testing.T) {
+	// left unique sorted; right sorted with repeats.
+	lk := []int64{1, 3, 5, 7}
+	lv := []int64{10, 30, 50, 70}
+	rk := []int64{1, 1, 2, 3, 5, 5, 5, 8}
+	rv := []int64{100, 101, 102, 103, 104, 105, 106, 107}
+	out := Materialize(NewMergeJoin(src(lk, lv), src(rk, rv), 0, 0, []int{1}, []int{1}), 2)
+	wantL := []int64{10, 10, 30, 50, 50, 50}
+	wantR := []int64{100, 101, 103, 104, 105, 106}
+	if !slices.Equal(out[0], wantL) || !slices.Equal(out[1], wantR) {
+		t.Fatalf("merge join: %v %v", out[0], out[1])
+	}
+}
+
+func TestMergeJoinLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nl := 5000
+	lk := make([]int64, nl)
+	for i := range lk {
+		lk[i] = int64(i * 3)
+	}
+	nr := 50_000
+	rk := make([]int64, nr)
+	for i := range rk {
+		rk[i] = rng.Int63n(int64(nl * 3))
+	}
+	slices.Sort(rk)
+	out := Materialize(NewMergeJoin(src(lk), src(rk), 0, 0, []int{0}, []int{0}), 2)
+	want := 0
+	for _, k := range rk {
+		if k%3 == 0 {
+			want++
+		}
+	}
+	if len(out[0]) != want {
+		t.Fatalf("rows %d, want %d", len(out[0]), want)
+	}
+	for i := range out[0] {
+		if out[0][i] != out[1][i] {
+			t.Fatal("joined keys differ")
+		}
+	}
+}
+
+func TestSortOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 7000
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(1000)
+		b[i] = int64(i)
+	}
+	out := Materialize(NewSortOp(src(a, b), 0), 2)
+	for i := 1; i < n; i++ {
+		if out[0][i] < out[0][i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+	// Payload stays attached to its key.
+	for i := 0; i < n; i++ {
+		if a[out[1][i]] != out[0][i] {
+			t.Fatal("payload detached")
+		}
+	}
+}
+
+func TestSemiJoinSet(t *testing.T) {
+	set := SemiJoinSet(src([]int64{1, 2, 2, 9}), 0)
+	if len(set) != 3 || !set[9] || set[5] {
+		t.Fatalf("set: %v", set)
+	}
+}

@@ -1,0 +1,258 @@
+package engine
+
+import "sort"
+
+// HashJoin is an inner equi-join on single int64 keys. The build side is
+// drained and hashed on first Next; the probe side streams. Output columns
+// are the probe's payload columns followed by the build's payload columns.
+type HashJoin struct {
+	build     Operator
+	probe     Operator
+	buildKey  int
+	probeKey  int
+	buildPay  []int
+	probePay  []int
+	ht        map[int64][]int32 // key -> build row ids
+	buildCols [][]int64
+	out       *Batch
+	built     bool
+
+	// pending probe state (a probe batch can overflow the output batch)
+	pb      *Batch
+	pbPos   int
+	pbMatch []int32 // remaining build matches for current probe row
+}
+
+// NewHashJoin builds an inner hash join.
+func NewHashJoin(build, probe Operator, buildKey, probeKey int, buildPay, probePay []int) *HashJoin {
+	return &HashJoin{
+		build: build, probe: probe,
+		buildKey: buildKey, probeKey: probeKey,
+		buildPay: buildPay, probePay: probePay,
+		out: NewBatch(len(probePay)+len(buildPay), BatchSize),
+	}
+}
+
+// Next emits joined vectors.
+func (j *HashJoin) Next() *Batch {
+	if !j.built {
+		j.runBuild()
+		j.built = true
+	}
+	n := 0
+	for n < BatchSize {
+		if j.pb == nil {
+			j.pb = j.probe.Next()
+			j.pbPos = 0
+			j.pbMatch = nil
+			if j.pb == nil {
+				break
+			}
+		}
+		b := j.pb
+		for j.pbPos < b.N && n < BatchSize {
+			i := j.pbPos
+			if j.pbMatch == nil {
+				j.pbMatch = j.ht[b.Cols[j.probeKey][i]]
+			}
+			for len(j.pbMatch) > 0 && n < BatchSize {
+				bi := j.pbMatch[0]
+				j.pbMatch = j.pbMatch[1:]
+				for c, pc := range j.probePay {
+					j.out.Cols[c][n] = b.Cols[pc][i]
+				}
+				for c, bc := range j.buildPay {
+					j.out.Cols[len(j.probePay)+c][n] = j.buildCols[bc][bi]
+				}
+				n++
+			}
+			if len(j.pbMatch) == 0 {
+				j.pbMatch = nil
+				j.pbPos++
+			}
+		}
+		if j.pbPos >= b.N {
+			j.pb = nil
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	j.out.N = n
+	return j.out
+}
+
+func (j *HashJoin) runBuild() {
+	j.ht = make(map[int64][]int32)
+	var cols [][]int64
+	row := int32(0)
+	for {
+		b := j.build.Next()
+		if b == nil {
+			break
+		}
+		if cols == nil {
+			cols = make([][]int64, len(b.Cols))
+		}
+		for c := range b.Cols {
+			cols[c] = append(cols[c], b.Cols[c][:b.N]...)
+		}
+		for i := 0; i < b.N; i++ {
+			k := cols[j.buildKey][int(row)+i]
+			j.ht[k] = append(j.ht[k], row+int32(i))
+		}
+		row += int32(b.N)
+	}
+	j.buildCols = cols
+}
+
+// SemiJoinSet drains op and returns the set of values of column col —
+// used to turn subqueries and small dimension filters into FilterIn.
+func SemiJoinSet(op Operator, col int) map[int64]bool {
+	set := make(map[int64]bool)
+	for {
+		b := op.Next()
+		if b == nil {
+			return set
+		}
+		for i := 0; i < b.N; i++ {
+			set[b.Cols[col][i]] = true
+		}
+	}
+}
+
+// MergeJoin is an inner equi-join of two inputs sorted ascending on their
+// key columns, one-to-many (left unique): the Section-5 postings ⋈ document
+// join. Output: left payload columns then right payload columns.
+type MergeJoin struct {
+	left, right       Operator
+	leftKey, rightKey int
+	leftPay, rightPay []int
+	out               *Batch
+
+	lb, rb     *Batch
+	lPos, rPos int
+	leftDone   bool
+	rightDone  bool
+	curLeftKey int64
+	curLeftRow []int64
+	haveLeft   bool
+}
+
+// NewMergeJoin builds a merge join; the left input must have unique keys.
+func NewMergeJoin(left, right Operator, leftKey, rightKey int, leftPay, rightPay []int) *MergeJoin {
+	return &MergeJoin{
+		left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey,
+		leftPay: leftPay, rightPay: rightPay,
+		out: NewBatch(len(leftPay)+len(rightPay), BatchSize),
+	}
+}
+
+// Next emits joined vectors.
+func (m *MergeJoin) Next() *Batch {
+	n := 0
+	for n < BatchSize {
+		if m.rb == nil && !m.rightDone {
+			m.rb = m.right.Next()
+			m.rPos = 0
+			if m.rb == nil {
+				m.rightDone = true
+			}
+		}
+		if m.rightDone || m.rb == nil {
+			break
+		}
+		rk := m.rb.Cols[m.rightKey][m.rPos]
+		// Advance the left side until curLeftKey >= rk.
+		for (!m.haveLeft || m.curLeftKey < rk) && !m.leftDone {
+			if !m.advanceLeft() {
+				m.leftDone = true
+			}
+		}
+		if m.leftDone && (!m.haveLeft || m.curLeftKey < rk) {
+			break // right rows beyond the last left key never match
+		}
+		if m.curLeftKey == rk {
+			for c, lc := range m.leftPay {
+				m.out.Cols[c][n] = m.curLeftRow[lc]
+			}
+			for c, rc := range m.rightPay {
+				m.out.Cols[len(m.leftPay)+c][n] = m.rb.Cols[rc][m.rPos]
+			}
+			n++
+		}
+		m.rPos++
+		if m.rPos >= m.rb.N {
+			m.rb = nil
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	m.out.N = n
+	return m.out
+}
+
+func (m *MergeJoin) advanceLeft() bool {
+	if m.lb == nil {
+		m.lb = m.left.Next()
+		m.lPos = 0
+		if m.lb == nil {
+			return false
+		}
+	}
+	if m.curLeftRow == nil {
+		m.curLeftRow = make([]int64, len(m.lb.Cols))
+	}
+	for c := range m.lb.Cols {
+		m.curLeftRow[c] = m.lb.Cols[c][m.lPos]
+	}
+	m.curLeftKey = m.lb.Cols[m.leftKey][m.lPos]
+	m.haveLeft = true
+	m.lPos++
+	if m.lPos >= m.lb.N {
+		m.lb = nil
+	}
+	return true
+}
+
+// SortOp materializes its input and emits it sorted by the given column
+// (ascending), used to prepare merge-join inputs.
+type SortOp struct {
+	child Operator
+	col   int
+	done  bool
+	out   *SliceSource
+}
+
+// NewSortOp builds a sort on column col.
+func NewSortOp(child Operator, col int) *SortOp {
+	return &SortOp{child: child, col: col}
+}
+
+// Next sorts on first call and replays.
+func (s *SortOp) Next() *Batch {
+	if !s.done {
+		cols := Materialize(s.child, -1)
+		if cols != nil && len(cols) > 0 && len(cols[0]) > 0 {
+			idx := make([]int, len(cols[0]))
+			for i := range idx {
+				idx[i] = i
+			}
+			key := cols[s.col]
+			sort.SliceStable(idx, func(a, b int) bool { return key[idx[a]] < key[idx[b]] })
+			sorted := make([][]int64, len(cols))
+			for c := range cols {
+				sorted[c] = make([]int64, len(idx))
+				for i, x := range idx {
+					sorted[c][i] = cols[c][x]
+				}
+			}
+			cols = sorted
+		}
+		s.out = NewSliceSource(cols)
+		s.done = true
+	}
+	return s.out.Next()
+}

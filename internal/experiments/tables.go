@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/columnbm"
+	"repro/internal/iomodel"
+	"repro/internal/report"
+	"repro/internal/simcpu"
+	"repro/internal/tpch"
+)
+
+// Table1 reprints the published TPC-H 100GB hardware-cost table (the
+// paper's motivation: 61-78% of system price is disks).
+func Table1(w io.Writer) {
+	tbl := report.NewTable("Table 1: TPC-H 100GB component cost (published data)",
+		"CPUs", "RAM", "disks", "disk share")
+	tbl.Row("4x Power5 1650MHz (9%)", "32GB (13%)", "42x36GB = 1.6TB", "78%")
+	tbl.Row("4x Itanium2 1500MHz (24%)", "32GB (15%)", "112x18GB = 1.9TB", "61%")
+	tbl.Row("4x Xeon MP 2800MHz (25%)", "4GB (3%)", "74x18GB = 1.2TB", "72%")
+	tbl.Row("4x Xeon MP 2000MHz (30%)", "8GB (7%)", "85x18GB = 1.6TB", "63%")
+	tbl.Print(w)
+}
+
+// RAIDConfig describes one simulated I/O subsystem of Table 2.
+type RAIDConfig struct {
+	Name          string
+	BandwidthMBps float64
+}
+
+// The paper's two machines: a 4-disk RAID (~80MB/s) and a 12-disk RAID
+// (~350MB/s).
+var (
+	LowEndRAID = RAIDConfig{"4-disk RAID", 80}
+	MidEndRAID = RAIDConfig{"12-disk RAID", 350}
+)
+
+// QueryRun is one measured query execution.
+type QueryRun struct {
+	Query      string
+	Ratio      float64       // compression ratio of the data the query scans
+	DecSpeed   float64       // MB/s of uncompressed data produced by decompression
+	CPUTime    time.Duration // wall time of processing incl. decompression
+	Decompress time.Duration // wall time inside decompression
+	IOTime     time.Duration // virtual disk time for the bytes read
+	Total      time.Duration // max(CPU, IO): overlapped I/O model
+}
+
+// IOStall returns the time the CPU would wait on the disk.
+func (r QueryRun) IOStall() time.Duration {
+	if r.IOTime > r.CPUTime {
+		return r.IOTime - r.CPUTime
+	}
+	return 0
+}
+
+// TPCHConfig is one (layout, compression) configuration over a dataset.
+type TPCHConfig struct {
+	DS       *tpch.Dataset
+	Disk     *columnbm.Disk
+	Tables   map[string]*columnbm.Table
+	Layout   columnbm.Layout
+	Compress bool
+}
+
+// BuildTPCH generates and stores a dataset configuration.
+func BuildTPCH(sf float64, layout columnbm.Layout, compress bool, raid RAIDConfig) *TPCHConfig {
+	ds := tpch.Generate(sf, 42)
+	disk := columnbm.NewDisk(raid.BandwidthMBps)
+	tables := tpch.Store(ds, disk, layout, compress, 128*1024)
+	return &TPCHConfig{DS: ds, Disk: disk, Tables: tables, Layout: layout, Compress: compress}
+}
+
+// RunQuery executes one query cold (fresh buffer manager) and returns its
+// measurements. bufBytes models the paper's 4GB RAM, scaled.
+func (cfg *TPCHConfig) RunQuery(q string, bufBytes int64, mode columnbm.DecompressMode) QueryRun {
+	db := tpch.NewDB(cfg.DS, cfg.Disk, cfg.Tables, bufBytes, mode)
+	cfg.Disk.ResetStats()
+	db.ResetStats()
+
+	start := time.Now()
+	tpch.Queries[q](db)
+	cpu := time.Since(start)
+
+	run := QueryRun{
+		Query:      q,
+		CPUTime:    cpu,
+		Decompress: db.DecompressTime(),
+		IOTime:     cfg.Disk.ReadTime(),
+	}
+	run.Total = run.CPUTime
+	if run.IOTime > run.Total {
+		run.Total = run.IOTime
+	}
+	// Per-query compression ratio over the columns the query scans.
+	var unc, comp int64
+	for rel, cols := range tpch.ScanColumns[q] {
+		t := cfg.Tables[rel]
+		r := cfg.DS.Rel(rel)
+		idx := make([]int, len(cols))
+		for i, c := range cols {
+			idx[i] = r.Col(c)
+		}
+		comp += t.ScanBytes(idx)
+		if cfg.Layout == columnbm.DSM {
+			unc += int64(r.Rows()) * int64(len(cols)) * 8
+		} else {
+			unc += int64(r.Rows()) * int64(len(r.Cols)) * 8
+		}
+	}
+	if comp > 0 {
+		run.Ratio = float64(unc) / float64(comp)
+	}
+	if d := run.Decompress.Seconds(); d > 0 {
+		run.DecSpeed = float64(unc) / d / 1e6
+	}
+	return run
+}
+
+// Table2 reproduces Table 2: per-query compression ratios, decompression
+// speed, and runtimes for DSM and PAX, uncompressed and compressed, on one
+// RAID configuration.
+func Table2(w io.Writer, sf float64, raid RAIDConfig, bufBytes int64) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Table 2: TPC-H SF-%g on %s (times in ms; unc=uncompressed, compr=compressed)", sf, raid.Name),
+		"query", "DSM ratio", "PAX ratio", "dec.speed MB/s",
+		"DSM unc", "DSM compr", "PAX unc", "PAX compr", "DSM speedup")
+
+	dsmU := BuildTPCH(sf, columnbm.DSM, false, raid)
+	dsmC := BuildTPCH(sf, columnbm.DSM, true, raid)
+	paxU := BuildTPCH(sf, columnbm.PAX, false, raid)
+	paxC := BuildTPCH(sf, columnbm.PAX, true, raid)
+
+	for _, q := range tpch.QueryOrder {
+		du := dsmU.RunQuery(q, bufBytes, columnbm.VectorWise)
+		dc := dsmC.RunQuery(q, bufBytes, columnbm.VectorWise)
+		pu := paxU.RunQuery(q, bufBytes, columnbm.VectorWise)
+		pc := paxC.RunQuery(q, bufBytes, columnbm.VectorWise)
+		speedup := 0.0
+		if dc.Total > 0 {
+			speedup = float64(du.Total) / float64(dc.Total)
+		}
+		tbl.Row(q, dc.Ratio, pc.Ratio, dc.DecSpeed,
+			ms(du.Total), ms(dc.Total), ms(pu.Total), ms(pc.Total), speedup)
+	}
+	tbl.Print(w)
+}
+
+// Table3 reproduces Table 3: I/O-RAM (page-wise) versus RAM-CPU cache
+// (vector-wise) decompression on queries 3, 4, 6 and 18 — query time plus
+// the L2 misses of a simulated replay of each mode's traffic pattern.
+func Table3(w io.Writer, sf float64, raid RAIDConfig, bufBytes int64) {
+	tbl := report.NewTable("Table 3: page-wise vs vector-wise decompression",
+		"query", "page-wise ms", "pw L2 misses (M)", "vector-wise ms", "vw L2 misses (M)")
+
+	cfg := BuildTPCH(sf, columnbm.DSM, true, raid)
+	for _, q := range []string{"03", "04", "06", "18"} {
+		pw := cfg.RunQuery(q, bufBytes, columnbm.PageWise)
+		vw := cfg.RunQuery(q, bufBytes, columnbm.VectorWise)
+
+		// Replay each mode's memory traffic through the cache model,
+		// sized by the bytes the query actually scanned.
+		var unc int64
+		for rel, cols := range tpch.ScanColumns[q] {
+			unc += int64(cfg.DS.Rel(rel).Rows()) * int64(len(cols)) * 8
+		}
+		ratio := pw.Ratio
+		if ratio <= 0 {
+			ratio = 1
+		}
+		pwSim := simcpu.ReplayPagewiseDecompress(simcpu.NewHierarchy(), int(unc), ratio)
+		vwSim := simcpu.ReplayVectorwiseDecompress(simcpu.NewHierarchy(), int(unc), 64<<10, ratio)
+		tbl.Row(q, ms(pw.CPUTime), float64(pwSim.L2Misses)/1e6,
+			ms(vw.CPUTime), float64(vwSim.L2Misses)/1e6)
+	}
+	tbl.Print(w)
+}
+
+// Fig8 reproduces Figure 8: per-query time split into decompression, other
+// CPU, and I/O stalls, normalized to the uncompressed run.
+func Fig8(w io.Writer, sf float64, raid RAIDConfig, layout columnbm.Layout, bufBytes int64) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Figure 8: time split on %s, %s (%% of uncompressed query time)", raid.Name, layout),
+		"query", "unc total ms", "compr total ms",
+		"decompress %", "processing %", "IO stall %", "total %")
+
+	unc := BuildTPCH(sf, layout, false, raid)
+	com := BuildTPCH(sf, layout, true, raid)
+	for _, q := range tpch.QueryOrder {
+		u := unc.RunQuery(q, bufBytes, columnbm.VectorWise)
+		c := com.RunQuery(q, bufBytes, columnbm.VectorWise)
+		base := float64(u.Total)
+		if base == 0 {
+			continue
+		}
+		dec := 100 * float64(c.Decompress) / base
+		proc := 100 * float64(c.CPUTime-c.Decompress) / base
+		stall := 100 * float64(c.IOStall()) / base
+		tbl.Row(q, ms(u.Total), ms(c.Total), dec, proc, stall,
+			100*float64(c.Total)/base)
+	}
+	tbl.Print(w)
+}
+
+// ModelCheck prints equation 3.1 predictions next to a measured
+// configuration, connecting the analytic model to the harness.
+func ModelCheck(w io.Writer, raid RAIDConfig, ratio, qMBps, cMBps float64) {
+	tbl := report.NewTable("Equation 3.1 check", "quantity", "value")
+	r, ioBound := iomodel.ResultBandwidth(iomodel.Params{B: raid.BandwidthMBps, R: ratio, Q: qMBps, C: cMBps})
+	regime := "CPU bound"
+	if ioBound {
+		regime = "I/O bound"
+	}
+	tbl.Row("result bandwidth MB/s", r)
+	tbl.Row("regime", regime)
+	tbl.Row("speedup vs uncompressed", iomodel.SpeedupFromCompression(iomodel.Params{B: raid.BandwidthMBps, R: ratio, Q: qMBps, C: cMBps}))
+	tbl.Print(w)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

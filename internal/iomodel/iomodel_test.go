@@ -1,0 +1,100 @@
+package iomodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSection5Equilibrium(t *testing.T) {
+	// The paper: Q=580MB/s query bandwidth, 350MB/s RAID ->
+	// "580*C/(580+C) = 350, which leads to C = 883MB/s".
+	c := EquilibriumC(580, 350)
+	if math.Abs(c-883) > 1 {
+		t.Fatalf("equilibrium C = %.1f, paper computes 883", c)
+	}
+}
+
+func TestEquilibriumUnreachable(t *testing.T) {
+	if !math.IsInf(EquilibriumC(300, 350), 1) {
+		t.Fatal("target above Q must be unreachable")
+	}
+}
+
+func TestIOBoundRegime(t *testing.T) {
+	// Slow disk, fast CPU: I/O bound, result bandwidth = B*r.
+	r, ioBound := ResultBandwidth(Params{B: 80, R: 4, Q: 2000, C: 3000})
+	if !ioBound {
+		t.Fatal("should be I/O bound")
+	}
+	if math.Abs(r-320) > 1e-9 {
+		t.Fatalf("R = %f, want B*r = 320", r)
+	}
+}
+
+func TestCPUBoundRegime(t *testing.T) {
+	// Fast disk: the CPU can't keep up; R = QC/(Q+C).
+	r, ioBound := ResultBandwidth(Params{B: 1000, R: 4, Q: 500, C: 2000})
+	if ioBound {
+		t.Fatal("should be CPU bound")
+	}
+	want := 500.0 * 2000 / 2500
+	if math.Abs(r-want) > 1e-9 {
+		t.Fatalf("R = %f, want %f", r, want)
+	}
+}
+
+func TestBoundaryContinuity(t *testing.T) {
+	// At the regime boundary the two formulas agree.
+	// Choose Q=C=2: boundary at Br/C + Br/Q = 1 -> Br = 1; QC/(Q+C) = 1.
+	r1, _ := ResultBandwidth(Params{B: 0.25, R: 4, Q: 2, C: 2})
+	if math.Abs(r1-1) > 1e-9 {
+		t.Fatalf("boundary R = %f, want 1", r1)
+	}
+}
+
+func TestSlowDecompressionHurts(t *testing.T) {
+	// Table 4's point: a codec slower than the equilibrium C makes the
+	// query slower than not compressing at all.
+	q, b := 580.0, 350.0
+	unc, _ := ResultBandwidth(Params{B: b, R: 1, Q: q, C: math.Inf(1)})
+	slow, _ := ResultBandwidth(Params{B: b, R: 3.47, Q: q, C: 164})  // shuff dec speed
+	fast, _ := ResultBandwidth(Params{B: b, R: 3.47, Q: q, C: 3911}) // PFOR-DELTA
+	if slow >= unc {
+		t.Fatalf("shuff-speed codec should lose to uncompressed: %f vs %f", slow, unc)
+	}
+	if fast <= unc {
+		t.Fatalf("PFOR-DELTA-speed codec should win: %f vs %f", fast, unc)
+	}
+}
+
+func TestSection5Acceleration(t *testing.T) {
+	// "PFOR-DELTA accelerates it from 350MB/s to 504MB/s": with Q=580 and
+	// C=3911, QC/(Q+C) = 505 (CPU bound).
+	got, ioBound := ResultBandwidth(Params{B: 350, R: 3.47, Q: 580, C: 3911})
+	if ioBound {
+		t.Fatal("compressed fbis query should be CPU bound")
+	}
+	if math.Abs(got-505) > 2 {
+		t.Fatalf("accelerated bandwidth %.0f, paper reports ~504", got)
+	}
+}
+
+func TestDecompressionShareTargets(t *testing.T) {
+	// Design goals from Section 3: C=2GB/s keeps overhead at 50% of CPU
+	// time (at Q=2GB/s), C=6GB/s gets it to 25%.
+	if s := DecompressionShare(2000, 2000); math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("share at C=Q: %f, want 0.5", s)
+	}
+	if s := DecompressionShare(2000, 6000); math.Abs(s-0.25) > 1e-9 {
+		t.Fatalf("share at C=3Q: %f, want 0.25", s)
+	}
+}
+
+func TestSpeedupTracksRatioWhenIOBound(t *testing.T) {
+	// On a slow RAID with fast decompression, speedup ~= compression ratio
+	// (the Opteron/DSM observation of Table 2).
+	s := SpeedupFromCompression(Params{B: 80, R: 4.0, Q: 1500, C: 2500})
+	if s < 3.2 || s > 4.01 {
+		t.Fatalf("I/O-bound speedup %.2f, want close to ratio 4", s)
+	}
+}

@@ -1,0 +1,137 @@
+// Package report provides the table and data-series printers used by the
+// benchmark harnesses to emit the paper's tables and figures in a uniform
+// fixed-width format (plus CSV for plotting).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and prints them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v, floats with 2 decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.2f", v)
+	case float32:
+		return fmt.Sprintf("%.2f", v)
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Print writes the table to w.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	}
+	var b strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	b.Reset()
+	for i := range t.headers {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, row := range t.rows {
+		b.Reset()
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.headers, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Series accumulates (x, y1..yk) points for a figure.
+type Series struct {
+	Title  string
+	XLabel string
+	Names  []string
+	xs     []float64
+	ys     [][]float64
+}
+
+// NewSeries creates a figure data set with the given y-series names.
+func NewSeries(title, xlabel string, names ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, Names: names}
+}
+
+// Point appends one x with its y values (one per series).
+func (s *Series) Point(x float64, y ...float64) {
+	if len(y) != len(s.Names) {
+		panic(fmt.Sprintf("report: point has %d values, series has %d", len(y), len(s.Names)))
+	}
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+}
+
+// Print writes the series as an aligned table, one row per x.
+func (s *Series) Print(w io.Writer) {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.Names...)...)
+	for i, x := range s.xs {
+		cells := make([]any, 0, 1+len(s.Names))
+		cells = append(cells, fmt.Sprintf("%.3g", x))
+		for _, y := range s.ys[i] {
+			cells = append(cells, y)
+		}
+		t.Row(cells...)
+	}
+	t.Print(w)
+}
+
+// Bandwidth formats a byte count over a duration in MB/s.
+func Bandwidth(bytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e6
+}

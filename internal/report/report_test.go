@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Demo", "query", "ratio", "time")
+	tbl.Row("Q1", 4.33, 307)
+	tbl.Row("Q18", 3.56, 181.9)
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "4.33") {
+		t.Fatalf("row content: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Row(1, 2.5)
+	var buf bytes.Buffer
+	tbl.CSV(&buf)
+	want := "a,b\n1,2.50\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Fig", "x", "naive", "pfor")
+	s.Point(0, 1.0, 2.0)
+	s.Point(0.5, 0.3, 2.1)
+	var buf bytes.Buffer
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "0.5") || !strings.Contains(buf.String(), "2.10") {
+		t.Fatalf("series output: %q", buf.String())
+	}
+}
+
+func TestSeriesArityPanics(t *testing.T) {
+	s := NewSeries("f", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong arity")
+		}
+	}()
+	s.Point(1, 2)
+}
+
+func TestBandwidth(t *testing.T) {
+	if got := Bandwidth(2_000_000, 1); got != 2 {
+		t.Fatalf("bandwidth %f, want 2", got)
+	}
+	if got := Bandwidth(100, 0); got != 0 {
+		t.Fatal("zero duration guards")
+	}
+}

@@ -1,0 +1,281 @@
+// Package segment serializes compressed blocks to the on-page layout of
+// Figure 3 of the paper: a fixed-size header, the entry-point section for
+// fine-grained access, a forward-growing code section, and an exception
+// section that grows backwards from the end of the segment.
+//
+// ColumnBM stores one segment per chunk (DSM) or one segment per column per
+// chunk (PAX); this package is only concerned with the byte layout of a
+// single segment.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrTooShort  = errors.New("segment: buffer too short")
+	ErrBadMagic  = errors.New("segment: bad magic byte")
+	ErrBadScheme = errors.New("segment: unknown compression scheme")
+	ErrCorrupt   = errors.New("segment: inconsistent section sizes")
+	ErrChecksum  = errors.New("segment: payload checksum mismatch")
+)
+
+const (
+	magic      = 0xC5 // "compressed segment"
+	headerSize = 44   // includes the payload checksum at offset 40
+)
+
+// fnv32 is FNV-1a over the segment payload; it guards the decompression
+// kernels (whose patch-list walks trust their inputs) against corrupt or
+// truncated pages.
+func fnv32(data []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// Marshal serializes blk into the Figure-3 segment layout and returns the
+// byte slice. The exception section is written in reverse order at the tail
+// of the segment, matching the paper's backward-growing exception area.
+func Marshal[T core.Integer](blk *core.Block[T]) []byte {
+	elem := elemSize[T]()
+	numGroups := len(blk.Entries)
+	size := headerSize + numGroups*4 + blk.DictLen*elem + len(blk.Totals)*elem +
+		len(blk.Codes)*4 + len(blk.Exc)*elem
+	buf := make([]byte, size)
+
+	// Header.
+	buf[0] = magic
+	buf[1] = byte(blk.Scheme)
+	buf[2] = byte(blk.B)
+	buf[3] = byte(elem)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(blk.N))
+	binary.LittleEndian.PutUint64(buf[8:], toBits(blk.Base))
+	binary.LittleEndian.PutUint64(buf[16:], toBits(blk.DeltaBase))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(blk.DictLen))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(blk.Exc)))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(blk.Codes)))
+	flags := uint32(0)
+	if len(blk.Totals) > 0 {
+		flags |= 1
+	}
+	binary.LittleEndian.PutUint32(buf[36:], flags)
+
+	// Entry-point section.
+	off := headerSize
+	for _, e := range blk.Entries {
+		binary.LittleEndian.PutUint32(buf[off:], e)
+		off += 4
+	}
+	// Dictionary (PDICT): only the meaningful entries travel to disk.
+	off = putValues(buf, off, blk.Dict[:blk.DictLen])
+	// Running totals (PFOR-DELTA).
+	off = putValues(buf, off, blk.Totals)
+	// Code section (forward-growing).
+	for _, w := range blk.Codes {
+		binary.LittleEndian.PutUint32(buf[off:], w)
+		off += 4
+	}
+	// Exception section: grows backwards from the end of the segment, so
+	// exception k lives at size - (k+1)*elem.
+	for k, v := range blk.Exc {
+		putValue(buf[size-(k+1)*elem:], v)
+	}
+	binary.LittleEndian.PutUint32(buf[40:], fnv32(buf[headerSize:]))
+	return buf
+}
+
+// Unmarshal parses a segment produced by Marshal. The element type must
+// match the one used at Marshal time (enforced by the element-size byte).
+func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
+	if len(buf) < headerSize {
+		return nil, ErrTooShort
+	}
+	if buf[0] != magic {
+		return nil, ErrBadMagic
+	}
+	scheme := core.Scheme(buf[1])
+	switch scheme {
+	case core.SchemePFOR, core.SchemePFORDelta, core.SchemePDict:
+	default:
+		return nil, ErrBadScheme
+	}
+	elem := elemSize[T]()
+	if int(buf[3]) != elem {
+		return nil, fmt.Errorf("%w: element size %d, decoding as %d", ErrCorrupt, buf[3], elem)
+	}
+	blk := &core.Block[T]{Scheme: scheme, B: uint(buf[2])}
+	blk.N = int(binary.LittleEndian.Uint32(buf[4:]))
+	blk.Base = fromBits[T](binary.LittleEndian.Uint64(buf[8:]))
+	blk.DeltaBase = fromBits[T](binary.LittleEndian.Uint64(buf[16:]))
+	blk.DictLen = int(binary.LittleEndian.Uint32(buf[24:]))
+	excCount := int(binary.LittleEndian.Uint32(buf[28:]))
+	codeWords := int(binary.LittleEndian.Uint32(buf[32:]))
+	flags := binary.LittleEndian.Uint32(buf[36:])
+
+	if blk.B < 1 || blk.B > 32 || blk.N < 0 || blk.N > core.MaxBlockValues || excCount > blk.N || excCount < 0 {
+		return nil, ErrCorrupt
+	}
+	// The header fields must be mutually consistent — the decompression
+	// kernels trust them (a corrupted width would make the code section
+	// appear shorter or longer than it is).
+	if codeWords != (blk.N*int(blk.B)+31)/32 {
+		return nil, ErrCorrupt
+	}
+	if blk.DictLen < 0 || (scheme == core.SchemePDict) != (blk.DictLen > 0) {
+		return nil, ErrCorrupt
+	}
+	if blk.B > uint(elem)*8 {
+		return nil, ErrCorrupt
+	}
+	numGroups := (blk.N + core.GroupSize - 1) / core.GroupSize
+	numTotals := 0
+	if flags&1 != 0 {
+		numTotals = numGroups
+	}
+	size := headerSize + numGroups*4 + blk.DictLen*elem + numTotals*elem + codeWords*4 + excCount*elem
+	if len(buf) < size {
+		return nil, ErrTooShort
+	}
+	if binary.LittleEndian.Uint32(buf[40:]) != fnv32(buf[headerSize:size]) {
+		return nil, ErrChecksum
+	}
+
+	off := headerSize
+	blk.Entries = make([]uint32, numGroups)
+	for g := range blk.Entries {
+		blk.Entries[g] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	if blk.DictLen > 0 {
+		if blk.DictLen > 1<<blk.B {
+			return nil, ErrCorrupt
+		}
+		blk.Dict = make([]T, 1<<blk.B)
+		off = getValues(buf, off, blk.Dict[:blk.DictLen])
+	}
+	if numTotals > 0 {
+		blk.Totals = make([]T, numTotals)
+		off = getValues(buf, off, blk.Totals)
+	}
+	blk.Codes = make([]uint32, codeWords)
+	for i := range blk.Codes {
+		blk.Codes[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	blk.Exc = make([]T, excCount)
+	for k := range blk.Exc {
+		blk.Exc[k] = getValue[T](buf[size-(k+1)*elem:])
+	}
+	return blk, nil
+}
+
+// MarshalRaw serializes an uncompressed value array (SchemeNone storage).
+func MarshalRaw[T core.Integer](vals []T) []byte {
+	elem := elemSize[T]()
+	buf := make([]byte, 8+len(vals)*elem)
+	buf[0] = magic
+	buf[1] = byte(core.SchemeNone)
+	buf[2] = byte(elem)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(vals)))
+	putValues(buf, 8, vals)
+	return buf
+}
+
+// UnmarshalRaw parses a MarshalRaw segment.
+func UnmarshalRaw[T core.Integer](buf []byte) ([]T, error) {
+	if len(buf) < 8 {
+		return nil, ErrTooShort
+	}
+	if buf[0] != magic || core.Scheme(buf[1]) != core.SchemeNone {
+		return nil, ErrBadMagic
+	}
+	elem := elemSize[T]()
+	if int(buf[2]) != elem {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if len(buf) < 8+n*elem {
+		return nil, ErrTooShort
+	}
+	vals := make([]T, n)
+	getValues(buf, 8, vals)
+	return vals, nil
+}
+
+// IsCompressed reports whether buf holds a compressed (patched-scheme)
+// segment rather than a raw one.
+func IsCompressed(buf []byte) bool {
+	return len(buf) >= 2 && buf[0] == magic && core.Scheme(buf[1]) != core.SchemeNone
+}
+
+func elemSize[T core.Integer]() int {
+	var v T
+	switch any(v).(type) {
+	case int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// toBits widens a value to its 64-bit two's-complement image.
+func toBits[T core.Integer](v T) uint64 { return uint64(int64(v)) }
+
+// fromBits truncates a 64-bit image back to T.
+func fromBits[T core.Integer](u uint64) T { return T(u) }
+
+func putValue[T core.Integer](buf []byte, v T) {
+	switch elemSize[T]() {
+	case 1:
+		buf[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(buf, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(buf, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+	}
+}
+
+func getValue[T core.Integer](buf []byte) T {
+	switch elemSize[T]() {
+	case 1:
+		return T(buf[0])
+	case 2:
+		return T(binary.LittleEndian.Uint16(buf))
+	case 4:
+		return T(binary.LittleEndian.Uint32(buf))
+	default:
+		return T(binary.LittleEndian.Uint64(buf))
+	}
+}
+
+func putValues[T core.Integer](buf []byte, off int, vals []T) int {
+	elem := elemSize[T]()
+	for _, v := range vals {
+		putValue(buf[off:], v)
+		off += elem
+	}
+	return off
+}
+
+func getValues[T core.Integer](buf []byte, off int, vals []T) int {
+	elem := elemSize[T]()
+	for i := range vals {
+		vals[i] = getValue[T](buf[off:])
+		off += elem
+	}
+	return off
+}

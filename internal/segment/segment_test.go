@@ -1,0 +1,187 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func checkBlockEqual[T core.Integer](t *testing.T, got, want *core.Block[T], src []T) {
+	t.Helper()
+	if got.Scheme != want.Scheme || got.B != want.B || got.N != want.N ||
+		got.Base != want.Base || got.DeltaBase != want.DeltaBase || got.DictLen != want.DictLen {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	out := make([]T, got.N)
+	core.Decompress(got, out)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("decode-after-unmarshal mismatch at %d: got %v want %v", i, out[i], src[i])
+		}
+	}
+}
+
+func TestMarshalRoundTripPFOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]int64, 5000)
+	for i := range src {
+		src[i] = 100 + rng.Int63n(200)
+		if rng.Float64() < 0.1 {
+			src[i] = rng.Int63()
+		}
+	}
+	blk := core.CompressPFOR(src, 100, 8)
+	buf := Marshal(blk)
+	got, err := Unmarshal[int64](buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBlockEqual(t, got, blk, src)
+}
+
+func TestMarshalRoundTripPFORDelta(t *testing.T) {
+	src := make([]int32, 1000)
+	acc := int32(0)
+	rng := rand.New(rand.NewSource(2))
+	for i := range src {
+		acc += rng.Int31n(50)
+		src[i] = acc
+	}
+	blk := core.CompressPFORDelta(src, 0, 0, 6)
+	got, err := Unmarshal[int32](Marshal(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Totals) != len(blk.Totals) {
+		t.Fatalf("totals lost: %d vs %d", len(got.Totals), len(blk.Totals))
+	}
+	checkBlockEqual(t, got, blk, src)
+	// Fine-grained access must survive serialization.
+	for _, x := range []int{0, 127, 128, 500, 999} {
+		if core.Get(got, x) != src[x] {
+			t.Fatalf("Get(%d) after round-trip differs", x)
+		}
+	}
+}
+
+func TestMarshalRoundTripPDict(t *testing.T) {
+	dict := []uint16{7, 77, 777, 7777}
+	rng := rand.New(rand.NewSource(3))
+	src := make([]uint16, 2000)
+	for i := range src {
+		if rng.Float64() < 0.9 {
+			src[i] = dict[rng.Intn(4)]
+		} else {
+			src[i] = uint16(rng.Intn(1 << 16))
+		}
+	}
+	blk := core.CompressPDict(src, dict, 2)
+	got, err := Unmarshal[uint16](Marshal(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBlockEqual(t, got, blk, src)
+}
+
+func TestMarshalAllElementWidths(t *testing.T) {
+	testWidth[int8](t, 4)
+	testWidth[uint8](t, 4)
+	testWidth[int16](t, 8)
+	testWidth[int32](t, 12)
+	testWidth[uint64](t, 16)
+}
+
+func testWidth[T core.Integer](t *testing.T, b uint) {
+	t.Helper()
+	src := make([]T, 300)
+	for i := range src {
+		src[i] = T(i % 13)
+	}
+	src[5] = T(1) << 6 // force at least the possibility of exceptions
+	blk := core.CompressPFOR(src, 0, b)
+	got, err := Unmarshal[T](Marshal(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBlockEqual(t, got, blk, src)
+}
+
+func TestNegativeBasesSurvive(t *testing.T) {
+	src := []int64{-100, -99, -98, -1000000}
+	blk := core.CompressPFOR(src, -100, 4)
+	got, err := Unmarshal[int64](Marshal(blk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != -100 {
+		t.Fatalf("base %d, want -100", got.Base)
+	}
+	checkBlockEqual(t, got, blk, src)
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	blk := core.CompressPFOR([]int64{1, 2, 3}, 0, 4)
+	good := Marshal(blk)
+
+	if _, err := Unmarshal[int64](good[:10]); err == nil {
+		t.Error("truncated header should fail")
+	}
+	if _, err := Unmarshal[int64](good[:len(good)-2]); err == nil {
+		t.Error("truncated body should fail")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 0x00
+	if _, err := Unmarshal[int64](bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	bad = append(bad[:0], good...)
+	bad[1] = 99
+	if _, err := Unmarshal[int64](bad); err == nil {
+		t.Error("bad scheme should fail")
+	}
+	// Element-width mismatch: int32 reader on an int64 segment.
+	if _, err := Unmarshal[int32](good); err == nil {
+		t.Error("element size mismatch should fail")
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	src := []int64{-5, 0, 9, 1 << 62}
+	buf := MarshalRaw(src)
+	if IsCompressed(buf) {
+		t.Fatal("raw segment misreported as compressed")
+	}
+	got, err := UnmarshalRaw[int64](buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("raw mismatch at %d", i)
+		}
+	}
+
+	blk := core.CompressPFOR(src, 0, 4)
+	if !IsCompressed(Marshal(blk)) {
+		t.Fatal("compressed segment misreported as raw")
+	}
+}
+
+func TestExceptionSectionGrowsBackwards(t *testing.T) {
+	// Layout check: the last exception value written must sit at the very
+	// end of the buffer (Figure 3's backward-growing exception section).
+	src := []int64{0, 1, 1 << 40, 2}
+	blk := core.CompressPFOR(src, 0, 2)
+	if blk.ExceptionCount() != 1 {
+		t.Fatalf("want 1 exception, got %d", blk.ExceptionCount())
+	}
+	buf := Marshal(blk)
+	tail := int64(uint64(buf[len(buf)-8]) | uint64(buf[len(buf)-7])<<8 |
+		uint64(buf[len(buf)-6])<<16 | uint64(buf[len(buf)-5])<<24 |
+		uint64(buf[len(buf)-4])<<32 | uint64(buf[len(buf)-3])<<40 |
+		uint64(buf[len(buf)-2])<<48 | uint64(buf[len(buf)-1])<<56)
+	if tail != 1<<40 {
+		t.Fatalf("exception not at segment tail: got %d", tail)
+	}
+}

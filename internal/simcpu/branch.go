@@ -1,0 +1,63 @@
+package simcpu
+
+// Predictor is a table of 2-bit saturating counters indexed by a branch
+// identifier — the classic bimodal branch predictor. It is deliberately
+// simple: the paper's observation is that the NAIVE kernel's
+// exception-test branch approaches a 50% miss rate regardless of predictor
+// sophistication, because the outcome sequence is data-dependent and
+// effectively random.
+type Predictor struct {
+	counters []uint8 // 0,1 predict not-taken; 2,3 predict taken
+	mask     uint64
+
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// NewPredictor builds a predictor with the given table size (must be a
+// power of two).
+func NewPredictor(entries int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("simcpu: predictor entries must be a power of two")
+	}
+	c := make([]uint8, entries)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &Predictor{counters: c, mask: uint64(entries - 1)}
+}
+
+// Branch records one dynamic execution of the branch identified by pc with
+// the actual outcome, returning whether the predictor mispredicted.
+func (p *Predictor) Branch(pc uint64, taken bool) bool {
+	p.Lookups++
+	i := (pc * 0x9E3779B97F4A7C15) >> 32 & p.mask
+	c := p.counters[i]
+	predictedTaken := c >= 2
+	if taken && c < 3 {
+		p.counters[i] = c + 1
+	} else if !taken && c > 0 {
+		p.counters[i] = c - 1
+	}
+	miss := predictedTaken != taken
+	if miss {
+		p.Mispredict++
+	}
+	return miss
+}
+
+// MissRate returns mispredictions per branch.
+func (p *Predictor) MissRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredict) / float64(p.Lookups)
+}
+
+// Reset clears statistics and counter state.
+func (p *Predictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 1
+	}
+	p.Lookups, p.Mispredict = 0, 0
+}

@@ -1,0 +1,147 @@
+package simcpu
+
+import (
+	"repro/internal/bitpack"
+	"repro/internal/core"
+)
+
+// This file replays the control flow and memory-access streams of the
+// (de)compression kernels through the predictor and cache models, yielding
+// the counter-based curves of Figures 4 and 7 and Table 3.
+
+// Branch identifiers for the predictor (stand-ins for instruction
+// addresses).
+const (
+	pcNaiveExcTest  = 0x1000 // NAIVE: "if code[i] < MAXCODE"
+	pcPatchLoop     = 0x2000 // patched LOOP2: "for cur < n"
+	pcValueLoop     = 0x3000 // per-value loop back-edge
+	pcCompressBrTst = 0x4000 // NAIVE compression exception branch
+)
+
+// BranchStats summarizes a replay.
+type BranchStats struct {
+	Branches   uint64
+	Mispredict uint64
+}
+
+// MissRate returns mispredictions per branch.
+func (s BranchStats) MissRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredict) / float64(s.Branches)
+}
+
+// ReplayNaiveDecompress replays the NAIVE decompression kernel: one
+// loop back-edge per value plus the unpredictable exception-test branch.
+func ReplayNaiveDecompress[T core.Integer](blk *core.NaiveBlock[T]) BranchStats {
+	p := NewPredictor(4096)
+	raw := make([]uint32, blk.N)
+	bitpack.Unpack(raw, blk.Codes, blk.B)
+	escape := uint32(1)<<blk.B - 1
+	for i := 0; i < blk.N; i++ {
+		p.Branch(pcNaiveExcTest, raw[i] >= escape)
+		p.Branch(pcValueLoop, i+1 < blk.N)
+	}
+	return BranchStats{p.Lookups, p.Mispredict}
+}
+
+// ReplayPatchedDecompress replays the two-loop patched kernel: LOOP1 has
+// only its (perfectly predictable) back-edge; LOOP2 iterates once per
+// exception with a likewise predictable back-edge. No data-dependent
+// branches exist — walking the linked list is a data hazard, not a control
+// hazard.
+func ReplayPatchedDecompress[T core.Integer](blk *core.Block[T]) BranchStats {
+	p := NewPredictor(4096)
+	for i := 0; i < blk.N; i++ {
+		p.Branch(pcValueLoop, i+1 < blk.N)
+	}
+	nExc := blk.ExceptionCount()
+	for k := 0; k < nExc; k++ {
+		p.Branch(pcPatchLoop, k+1 < nExc)
+	}
+	return BranchStats{p.Lookups, p.Mispredict}
+}
+
+// ReplayNaiveCompress replays the branchy compression detection loop
+// (Figure 5 "NAIVE"): an if-then-else on every value.
+func ReplayNaiveCompress(exceptionFlags []bool) BranchStats {
+	p := NewPredictor(4096)
+	for i, exc := range exceptionFlags {
+		p.Branch(pcCompressBrTst, exc)
+		p.Branch(pcValueLoop, i+1 < len(exceptionFlags))
+	}
+	return BranchStats{p.Lookups, p.Mispredict}
+}
+
+// ReplayPredicatedCompress replays the predicated detection loop (Figure 5
+// "PRED"/"DC"): the exception test is a data dependency, so only the
+// back-edge remains.
+func ReplayPredicatedCompress(n int) BranchStats {
+	p := NewPredictor(4096)
+	for i := 0; i < n; i++ {
+		p.Branch(pcValueLoop, i+1 < n)
+	}
+	return BranchStats{p.Lookups, p.Mispredict}
+}
+
+// --- Figure 7 / Table 3: I/O-RAM vs RAM-CPU cache traffic -----------------
+
+// TrafficStats summarizes a cache replay.
+type TrafficStats struct {
+	L2Accesses uint64
+	L2Misses   uint64
+	MemReads   uint64
+}
+
+// L2MissRate returns L2 misses per L2 access.
+func (t TrafficStats) L2MissRate() float64 {
+	if t.L2Accesses == 0 {
+		return 0
+	}
+	return float64(t.L2Misses) / float64(t.L2Accesses)
+}
+
+// Memory map for the replays (addresses are synthetic; only cache-set
+// behaviour matters).
+const (
+	addrCompressed = 0x1_0000_0000
+	addrBuffer     = 0x2_0000_0000
+	addrOutput     = 0x3_0000_0000
+)
+
+// ReplayPagewiseDecompress models I/O-RAM compression (Figure 1, left):
+// the buffer manager decompresses a whole disk page from RAM into a
+// decompressed RAM page, and the query then reads that page again. The
+// decompressed page exceeds the L2 cache, so the query's reads miss: data
+// crosses the RAM-CPU boundary three times.
+func ReplayPagewiseDecompress(h *Hierarchy, pageBytes int, ratio float64) TrafficStats {
+	compressed := int(float64(pageBytes) / ratio)
+	// Decompression: stream-read the compressed page, stream-write the
+	// decompressed buffer page.
+	h.Stream(addrCompressed, compressed)
+	h.Stream(addrBuffer, pageBytes)
+	// Query execution: read the decompressed page from the buffer pool.
+	h.Stream(addrBuffer, pageBytes)
+	return TrafficStats{h.L2.Accesses, h.L2.Misses, h.MemReads}
+}
+
+// ReplayVectorwiseDecompress models RAM-CPU cache compression (Figure 1,
+// right): each vector is decompressed just-in-time into a CPU-cache
+// resident buffer that the query reads immediately — the decompressed data
+// never makes a round trip through RAM.
+func ReplayVectorwiseDecompress(h *Hierarchy, pageBytes, vectorBytes int, ratio float64) TrafficStats {
+	compressed := int(float64(pageBytes) / ratio)
+	vectors := (pageBytes + vectorBytes - 1) / vectorBytes
+	compPerVec := compressed / vectors
+	for v := 0; v < vectors; v++ {
+		// Read this vector's slice of the compressed page (cold: one miss
+		// per line, the unavoidable traffic).
+		h.Stream(addrCompressed+uint64(v*compPerVec), compPerVec)
+		// Decompress into the same small vector buffer every time...
+		h.Stream(addrOutput, vectorBytes)
+		// ...and the query consumes it while it is still cached.
+		h.Stream(addrOutput, vectorBytes)
+	}
+	return TrafficStats{h.L2.Accesses, h.L2.Misses, h.MemReads}
+}

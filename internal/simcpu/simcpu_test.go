@@ -1,0 +1,204 @@
+package simcpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache("L1", 1024, 64, 2) // 8 sets x 2 ways
+	if hit := c.access(0); hit {
+		t.Fatal("cold access must miss")
+	}
+	if hit := c.access(32); !hit {
+		t.Fatal("same line must hit")
+	}
+	if hit := c.access(0); !hit {
+		t.Fatal("repeat must hit")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Fatalf("stats: %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("L1", 1024, 64, 2) // 8 sets, 2 ways; set stride = 512
+	// Three lines mapping to the same set: the first must be evicted.
+	c.access(0)
+	c.access(512)
+	c.access(1024)
+	if c.access(0) {
+		t.Fatal("LRU victim should have been evicted")
+	}
+	if !c.access(1024) {
+		t.Fatal("most recent line should survive")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := NewCache("L2", 1<<16, 64, 8)
+	// Touch a working set half the cache size twice: second pass all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 1<<15; a += 64 {
+			c.access(a)
+		}
+	}
+	wantMisses := uint64(1 << 15 / 64)
+	if c.Misses != wantMisses {
+		t.Fatalf("misses %d, want %d (only cold misses)", c.Misses, wantMisses)
+	}
+}
+
+func TestCacheThrashing(t *testing.T) {
+	c := NewCache("L2", 1<<16, 64, 8)
+	// Working set 4x cache size, streamed twice: everything misses.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 1<<18; a += 64 {
+			c.access(a)
+		}
+	}
+	if rate := c.MissRate(); rate < 0.99 {
+		t.Fatalf("streaming 4x the cache should always miss, rate %.3f", rate)
+	}
+}
+
+func TestHierarchyInclusionOfCounts(t *testing.T) {
+	h := NewHierarchy()
+	h.Stream(0, 1<<20) // 1MB cold stream
+	lines := uint64(1 << 20 / 64)
+	if h.L1.Accesses != lines {
+		t.Fatalf("L1 accesses %d, want %d", h.L1.Accesses, lines)
+	}
+	if h.L2.Accesses != h.L1.Misses {
+		t.Fatal("L2 sees exactly the L1 misses")
+	}
+	if h.MemReads != h.L2.Misses {
+		t.Fatal("memory sees exactly the L2 misses")
+	}
+}
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(256)
+	for i := 0; i < 1000; i++ {
+		p.Branch(1, true)
+	}
+	if rate := p.MissRate(); rate > 0.01 {
+		t.Fatalf("always-taken branch: miss rate %.3f", rate)
+	}
+	p.Reset()
+	// Alternating pattern defeats a bimodal predictor about half the time.
+	for i := 0; i < 10000; i++ {
+		p.Branch(1, i%2 == 0)
+	}
+	if rate := p.MissRate(); rate < 0.4 {
+		t.Fatalf("alternating branch: miss rate %.3f, want ~0.5", rate)
+	}
+}
+
+func TestPredictorRandomOutcomesNearHalf(t *testing.T) {
+	p := NewPredictor(256)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		p.Branch(7, rng.Intn(2) == 0)
+	}
+	if rate := p.MissRate(); rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random branch: miss rate %.3f, want ~0.5", rate)
+	}
+}
+
+// synth produces values with the given exception rate for b=8, base 0.
+func synth(rng *rand.Rand, n int, rate float64) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		if rng.Float64() < rate {
+			vals[i] = 1 << 30
+		} else {
+			vals[i] = rng.Int63n(250)
+		}
+	}
+	return vals
+}
+
+// TestFigure4Shape verifies the headline claim of Figure 4: the NAIVE
+// kernel's branch miss rate peaks near 50% exceptions and collapses at the
+// extremes, while the patched kernels stay near zero everywhere.
+func TestFigure4Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 50_000
+	missAt := func(rate float64) (naive, patched float64) {
+		vals := synth(rng, n, rate)
+		nb := core.CompressNaive(vals, 0, 8)
+		pb := core.CompressPFOR(vals, 0, 8)
+		return ReplayNaiveDecompress(nb).MissRate(), ReplayPatchedDecompress(pb).MissRate()
+	}
+	n0, p0 := missAt(0)
+	n50, p50 := missAt(0.5)
+	n100, p100 := missAt(1.0)
+
+	if n50 < 0.15 {
+		t.Fatalf("NAIVE at 50%% exceptions: miss rate %.3f, want the Figure-4 peak (>0.15)", n50)
+	}
+	if n0 > 0.02 || n100 > 0.02 {
+		t.Fatalf("NAIVE at extremes should predict well: %.3f / %.3f", n0, n100)
+	}
+	if p0 > 0.02 || p50 > 0.02 || p100 > 0.02 {
+		t.Fatalf("patched kernels must stay branch-free: %.3f %.3f %.3f", p0, p50, p100)
+	}
+	if n50 < 5*max(p50, 0.001) {
+		t.Fatalf("NAIVE peak (%.3f) must dwarf patched (%.3f)", n50, p50)
+	}
+}
+
+// TestFigure7Shape verifies the I/O-RAM vs RAM-CPU claim: page-wise
+// decompression incurs far more memory traffic than vector-wise, because
+// the decompressed page makes a round trip through RAM.
+func TestFigure7Shape(t *testing.T) {
+	const page = 4 << 20 // 4MB decompressed
+	const vector = 8 << 10
+	pw := ReplayPagewiseDecompress(NewHierarchy(), page, 4.0)
+	vw := ReplayVectorwiseDecompress(NewHierarchy(), page, vector, 4.0)
+	if pw.MemReads < 2*vw.MemReads {
+		t.Fatalf("page-wise memory reads (%d) should be >= 2x vector-wise (%d)", pw.MemReads, vw.MemReads)
+	}
+	// Vector-wise traffic should approach the compressed size only:
+	// page/ratio bytes = page/4 -> page/4/64 lines.
+	coldLines := uint64(page / 4 / 64)
+	if vw.MemReads > coldLines*3/2 {
+		t.Fatalf("vector-wise reads %d, want close to cold compressed lines %d", vw.MemReads, coldLines)
+	}
+}
+
+func TestReplayCompressLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	flags := make([]bool, 20_000)
+	for i := range flags {
+		flags[i] = rng.Float64() < 0.5
+	}
+	naive := ReplayNaiveCompress(flags)
+	pred := ReplayPredicatedCompress(len(flags))
+	if naive.MissRate() < 0.15 {
+		t.Fatalf("branchy compression at 50%%: %.3f, want high", naive.MissRate())
+	}
+	if pred.MissRate() > 0.01 {
+		t.Fatalf("predicated compression should not mispredict: %.3f", pred.MissRate())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("x", 1000, 64, 2) }, // not divisible
+		func() { NewCache("x", 1024, 48, 2) }, // line not power of two
+		func() { NewPredictor(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package tpch
+
+import (
+	"time"
+
+	"repro/internal/columnbm"
+	"repro/internal/engine"
+)
+
+// Store compresses (or stores raw) every relation of ds onto disk in the
+// given layout and returns the tables.
+func Store(ds *Dataset, disk *columnbm.Disk, layout columnbm.Layout, compress bool, chunkRows int) map[string]*columnbm.Table {
+	tables := make(map[string]*columnbm.Table, len(ds.Rels))
+	for name, rel := range ds.Rels {
+		tables[name] = columnbm.BuildTable(disk, name, layout, rel.Cols, rel.Data, chunkRows, compress)
+	}
+	return tables
+}
+
+// DB is one queryable configuration: a stored dataset plus a buffer
+// manager and decompression mode. Create a fresh DB (or at least a fresh
+// buffer manager) per measured query run.
+type DB struct {
+	DS     *Dataset
+	Disk   *columnbm.Disk
+	BM     *columnbm.BufferManager
+	Mode   columnbm.DecompressMode
+	Tables map[string]*columnbm.Table
+
+	scanners []*columnbm.Scanner
+}
+
+// NewDB assembles a DB over stored tables.
+func NewDB(ds *Dataset, disk *columnbm.Disk, tables map[string]*columnbm.Table, bufBytes int64, mode columnbm.DecompressMode) *DB {
+	return &DB{
+		DS: ds, Disk: disk, Tables: tables,
+		BM:   columnbm.NewBufferManager(disk, bufBytes),
+		Mode: mode,
+	}
+}
+
+// Scan opens a vectorized scan of the named columns.
+func (db *DB) Scan(rel string, cols ...string) *engine.Scan {
+	r := db.DS.Rel(rel)
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = r.Col(c)
+	}
+	sc := db.Tables[rel].NewScanner(db.BM, idx, columnbm.DefaultVectorSize, db.Mode)
+	db.scanners = append(db.scanners, sc)
+	return engine.NewScan(sc)
+}
+
+// DecompressTime sums decompression wall time across all scans opened since
+// the last ResetStats.
+func (db *DB) DecompressTime() time.Duration {
+	var total time.Duration
+	for _, sc := range db.scanners {
+		total += sc.DecompressTime
+	}
+	return total
+}
+
+// ResetStats clears scanner accounting (the disk's I/O counters are reset
+// separately via db.Disk.ResetStats).
+func (db *DB) ResetStats() { db.scanners = db.scanners[:0] }
+
+// QueryFunc runs one benchmark query and returns its materialized result.
+type QueryFunc func(*DB) [][]int64
+
+// QueryOrder lists the Table 2 queries in paper order.
+var QueryOrder = []string{"01", "03", "04", "05", "06", "07", "11", "14", "15", "18", "21"}
+
+// Queries maps query number to implementation.
+var Queries = map[string]QueryFunc{
+	"01": Q1, "03": Q3, "04": Q4, "05": Q5, "06": Q6, "07": Q7,
+	"11": Q11, "14": Q14, "15": Q15, "18": Q18, "21": Q21,
+}
+
+// ScanColumns lists the columns each query reads, used for Table 2's
+// per-query compression-ratio accounting (the paper reports the ratio of
+// the data each query touches).
+var ScanColumns = map[string]map[string][]string{
+	"01": {Lineitem: {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_shipdate"}},
+	"03": {Customer: {"c_custkey", "c_mktsegment"}, Orders: {"o_orderkey", "o_custkey", "o_orderdate"}, Lineitem: {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"}},
+	"04": {Orders: {"o_orderkey", "o_orderdate", "o_orderpriority"}, Lineitem: {"l_orderkey", "l_commitdate", "l_receiptdate"}},
+	"05": {Customer: {"c_custkey", "c_nationkey"}, Supplier: {"s_suppkey", "s_nationkey"}, Orders: {"o_orderkey", "o_custkey", "o_orderdate"}, Lineitem: {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}},
+	"06": {Lineitem: {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"}},
+	"07": {Customer: {"c_custkey", "c_nationkey"}, Supplier: {"s_suppkey", "s_nationkey"}, Orders: {"o_orderkey", "o_custkey"}, Lineitem: {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"}},
+	"11": {Supplier: {"s_suppkey", "s_nationkey"}, PartSupp: {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}},
+	"14": {Part: {"p_partkey", "p_type"}, Lineitem: {"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"}},
+	"15": {Lineitem: {"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"}},
+	"18": {Orders: {"o_orderkey", "o_custkey", "o_orderdate"}, Lineitem: {"l_orderkey", "l_quantity"}},
+	"21": {Supplier: {"s_suppkey", "s_nationkey"}, Lineitem: {"l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"}},
+}

@@ -1,0 +1,136 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/columnbm"
+)
+
+// Scalar reference implementations: the vectorized pipeline must agree
+// with a plain row-at-a-time computation over the generated data.
+
+func TestQ6MatchesScalarReference(t *testing.T) {
+	ds, db := buildDB(t, columnbm.DSM, true, columnbm.VectorWise)
+	li := ds.Rel(Lineitem)
+	ship := li.Column("l_shipdate")
+	disc := li.Column("l_discount")
+	qty := li.Column("l_quantity")
+	price := li.Column("l_extendedprice")
+
+	var want int64
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] >= lo && ship[i] < hi && disc[i] >= 5 && disc[i] <= 7 && qty[i] < 24 {
+			want += price[i] * disc[i]
+		}
+	}
+	got := Q6(db)
+	if got[0][0] != want {
+		t.Fatalf("Q6 = %d, scalar reference = %d", got[0][0], want)
+	}
+}
+
+func TestQ1MatchesScalarReference(t *testing.T) {
+	ds, db := buildDB(t, columnbm.PAX, true, columnbm.VectorWise)
+	li := ds.Rel(Lineitem)
+	flag := li.Column("l_returnflag")
+	status := li.Column("l_linestatus")
+	qty := li.Column("l_quantity")
+	price := li.Column("l_extendedprice")
+	disc := li.Column("l_discount")
+	ship := li.Column("l_shipdate")
+
+	type key struct{ f, s int64 }
+	sumQty := map[key]int64{}
+	sumRev := map[key]int64{}
+	count := map[key]int64{}
+	cutoff := Date(1998, 9, 2)
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] > cutoff {
+			continue
+		}
+		k := key{flag[i], status[i]}
+		sumQty[k] += qty[i]
+		sumRev[k] += price[i] * (100 - disc[i])
+		count[k]++
+	}
+
+	got := Q1(db)
+	if len(got[0]) != len(count) {
+		t.Fatalf("Q1 groups %d, reference %d", len(got[0]), len(count))
+	}
+	for i := range got[0] {
+		k := key{got[0][i], got[1][i]}
+		if got[2][i] != sumQty[k] {
+			t.Fatalf("group %v: sum_qty %d, want %d", k, got[2][i], sumQty[k])
+		}
+		if got[4][i] != sumRev[k] {
+			t.Fatalf("group %v: sum_disc_price %d, want %d", k, got[4][i], sumRev[k])
+		}
+		if got[6][i] != count[k] {
+			t.Fatalf("group %v: count %d, want %d", k, got[6][i], count[k])
+		}
+	}
+}
+
+func TestQ15MatchesScalarReference(t *testing.T) {
+	ds, db := buildDB(t, columnbm.DSM, true, columnbm.PageWise)
+	li := ds.Rel(Lineitem)
+	supp := li.Column("l_suppkey")
+	price := li.Column("l_extendedprice")
+	disc := li.Column("l_discount")
+	ship := li.Column("l_shipdate")
+
+	rev := map[int64]int64{}
+	lo, hi := Date(1996, 1, 1), Date(1996, 4, 1)
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] >= lo && ship[i] < hi {
+			rev[supp[i]] += price[i] * (100 - disc[i])
+		}
+	}
+	var bestKey, bestVal int64 = -1, -1
+	for k, v := range rev {
+		if v > bestVal || (v == bestVal && k < bestKey) {
+			bestKey, bestVal = k, v
+		}
+	}
+	got := Q15(db)
+	if got[0][0] != bestKey || got[1][0] != bestVal {
+		t.Fatalf("Q15 = (%d,%d), reference (%d,%d)", got[0][0], got[1][0], bestKey, bestVal)
+	}
+}
+
+func TestQ4MatchesScalarReference(t *testing.T) {
+	ds, db := buildDB(t, columnbm.DSM, false, columnbm.VectorWise)
+	li := ds.Rel(Lineitem)
+	orders := ds.Rel(Orders)
+
+	late := map[int64]bool{}
+	lok := li.Column("l_orderkey")
+	commit := li.Column("l_commitdate")
+	receipt := li.Column("l_receiptdate")
+	for i := 0; i < li.Rows(); i++ {
+		if commit[i] < receipt[i] {
+			late[lok[i]] = true
+		}
+	}
+	counts := map[int64]int64{}
+	ook := orders.Column("o_orderkey")
+	odate := orders.Column("o_orderdate")
+	oprio := orders.Column("o_orderpriority")
+	lo, hi := Date(1993, 7, 1), Date(1993, 10, 1)
+	for i := 0; i < orders.Rows(); i++ {
+		if odate[i] >= lo && odate[i] < hi && late[ook[i]] {
+			counts[oprio[i]]++
+		}
+	}
+	got := Q4(db)
+	if len(got[0]) != len(counts) {
+		t.Fatalf("Q4 groups %d, reference %d", len(got[0]), len(counts))
+	}
+	for i := range got[0] {
+		if got[1][i] != counts[got[0][i]] {
+			t.Fatalf("priority %d: count %d, want %d", got[0][i], got[1][i], counts[got[0][i]])
+		}
+	}
+}
