@@ -14,10 +14,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/experiments"
 	"repro/internal/baseline"
 	"repro/internal/columnbm"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/invfile"
 	"repro/internal/tpch"
 )

@@ -11,7 +11,7 @@ import (
 	"flag"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/experiments"
 )
 
 func main() {

@@ -14,7 +14,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/experiments"
 )
 
 func main() {

@@ -1,6 +1,6 @@
 // Command segdump inspects a serialized compressed segment (the Figure-3
-// layout produced by internal/segment): header fields, section sizes,
-// per-group exception statistics. Useful when debugging storage files.
+// layout): header fields, section sizes, per-group exception statistics.
+// Useful when debugging storage files.
 //
 // With no arguments it generates a demo segment and dumps it; pass a file
 // path to dump a segment from disk, with -t choosing the element type.
@@ -13,12 +13,11 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/segment"
+	"repro/zukowski"
 )
 
 func main() {
-	elem := flag.String("t", "int64", "element type: int8|int16|int32|int64")
+	elem := flag.String("t", "int64", "element type: int8|int16|int32|int64|uint8|uint16|uint32|uint64")
 	flag.Parse()
 
 	var buf []byte
@@ -38,7 +37,11 @@ func main() {
 				vals[i] = rng.Int63()
 			}
 		}
-		buf = segment.Marshal(core.CompressPFOR(vals, 0, 10))
+		var err error
+		buf, err = zukowski.PFOR[int64]{Base: 0, Width: 10}.Encode(nil, vals)
+		if err != nil {
+			log.Fatal(err)
+		}
 		*elem = "int64"
 	}
 
@@ -51,56 +54,33 @@ func main() {
 		dump[int32](buf)
 	case "int64":
 		dump[int64](buf)
+	case "uint8":
+		dump[uint8](buf)
+	case "uint16":
+		dump[uint16](buf)
+	case "uint32":
+		dump[uint32](buf)
+	case "uint64":
+		dump[uint64](buf)
 	default:
 		log.Fatalf("unknown element type %q", *elem)
 	}
 }
 
-func dump[T core.Integer](buf []byte) {
-	if !segment.IsCompressed(buf) {
-		vals, err := segment.UnmarshalRaw[T](buf)
-		if err != nil {
-			log.Fatalf("not a valid segment: %v", err)
-		}
-		fmt.Printf("raw (uncompressed) segment: %d values, %d bytes\n", len(vals), len(buf))
-		return
-	}
-	blk, err := segment.Unmarshal[T](buf)
+func dump[T zukowski.Integer](buf []byte) {
+	st, err := zukowski.Inspect[T](buf)
 	if err != nil {
-		log.Fatalf("corrupt segment: %v", err)
+		log.Fatalf("not a valid segment: %v", err)
 	}
-	fmt.Printf("scheme:        %v\n", blk.Scheme)
-	fmt.Printf("bit width:     %d\n", blk.B)
-	fmt.Printf("values:        %d (%d groups of %d)\n", blk.N, blk.NumGroups(), core.GroupSize)
-	fmt.Printf("base:          %v   delta base: %v\n", blk.Base, blk.DeltaBase)
-	if blk.DictLen > 0 {
-		fmt.Printf("dictionary:    %d entries\n", blk.DictLen)
+	fmt.Printf("scheme:        %s\n", st.Scheme)
+	fmt.Printf("bit width:     %d\n", st.BitWidth)
+	fmt.Printf("values:        %d (%d groups of %d)\n", st.NumValues, st.Groups, zukowski.GroupSize)
+	if st.DictEntries > 0 {
+		fmt.Printf("dictionary:    %d entries\n", st.DictEntries)
 	}
-	fmt.Printf("exceptions:    %d (E' = %.4f)\n", blk.ExceptionCount(), blk.ExceptionRate())
-	fmt.Printf("sizes:         segment %d B, codes %d B, ratio %.2fx\n",
-		len(buf), len(blk.Codes)*4, blk.Ratio())
-
-	// Exception distribution across groups, derived from the entry words.
-	var maxExc, groupsWithExc int
-	for g := 0; g < blk.NumGroups(); g++ {
-		n := groupExcCount(blk, g)
-		if n > maxExc {
-			maxExc = n
-		}
-		if n > 0 {
-			groupsWithExc++
-		}
-	}
+	fmt.Printf("exceptions:    %d (E' = %.4f)\n", st.Exceptions, st.ExceptionRate)
+	fmt.Printf("sizes:         segment %d B, raw %d B, ratio %.2fx\n",
+		st.EncodedBytes, st.UncompressedBytes, st.Ratio)
 	fmt.Printf("groups w/ exc: %d of %d (max %d exceptions in one group)\n",
-		groupsWithExc, blk.NumGroups(), maxExc)
-}
-
-// groupExcCount derives a group's exception count from the entry words.
-func groupExcCount[T core.Integer](blk *core.Block[T], g int) int {
-	start := int(blk.Entries[g] >> 7)
-	end := len(blk.Exc)
-	if g+1 < len(blk.Entries) {
-		end = int(blk.Entries[g+1] >> 7)
-	}
-	return end - start
+		st.GroupsWithExceptions, st.Groups, st.MaxGroupExceptions)
 }

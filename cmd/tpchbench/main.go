@@ -14,8 +14,7 @@ import (
 	"flag"
 	"os"
 
-	"repro/internal/columnbm"
-	"repro/internal/experiments"
+	"repro/experiments"
 )
 
 func main() {
@@ -41,8 +40,8 @@ func main() {
 		experiments.Table3(w, *sf, experiments.MidEndRAID, *buf)
 	}
 	if all || *fig8 {
-		experiments.Fig8(w, *sf, experiments.LowEndRAID, columnbm.DSM, *buf)
-		experiments.Fig8(w, *sf, experiments.MidEndRAID, columnbm.DSM, *buf)
-		experiments.Fig8(w, *sf, experiments.MidEndRAID, columnbm.PAX, *buf)
+		experiments.Fig8(w, *sf, experiments.LowEndRAID, experiments.DSM, *buf)
+		experiments.Fig8(w, *sf, experiments.MidEndRAID, experiments.DSM, *buf)
+		experiments.Fig8(w, *sf, experiments.MidEndRAID, experiments.PAX, *buf)
 	}
 }

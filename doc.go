@@ -3,10 +3,12 @@
 // PFOR-DELTA and PDICT patched compression schemes, the ColumnBM storage
 // manager and vectorized execution engine they were evaluated in, the
 // baseline compressors the paper compares against, and harnesses that
-// regenerate every table and figure of the paper's evaluation.
+// regenerate the tables and figures of the paper's evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The library lives under internal/; cmd/ holds the benchmark harnesses
-// and examples/ the runnable examples.
+// Import repro/zukowski for the public API: a unified Codec interface over
+// every scheme, a name-indexed codec registry, and a streaming
+// ColumnWriter/ColumnReader container, all with typed errors.
+// repro/experiments regenerates the paper's evaluation. The kernels live
+// under internal/, cmd/ holds the benchmark harnesses and examples/ the
+// runnable examples. See README.md for a tour and a package map.
 package repro

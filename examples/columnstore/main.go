@@ -1,16 +1,17 @@
-// Columnstore: build a compressed DSM table in ColumnBM on a simulated
-// 4-disk RAID, run a vectorized scan-select-aggregate query compressed and
-// uncompressed, and compare the end-to-end cost — the Table 2 experiment
-// in miniature.
+// Columnstore: store an orders-like table as compressed column containers,
+// run a scan-select-aggregate query block by block against the compressed
+// columns, and compare storage and query cost with uncompressed storage —
+// the Table 2 experiment in miniature, on the public API.
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
-	"repro/internal/columnbm"
-	"repro/internal/engine"
+	"repro/zukowski"
 )
 
 func main() {
@@ -19,7 +20,7 @@ func main() {
 
 	// An orders-like table: sequential key, clustered date, enum status,
 	// decimal amount in cents.
-	cols := []columnbm.Column{{Name: "key"}, {Name: "date"}, {Name: "status"}, {Name: "amount"}}
+	names := []string{"key", "date", "status", "amount"}
 	key := make([]int64, rows)
 	date := make([]int64, rows)
 	status := make([]int64, rows)
@@ -33,32 +34,71 @@ func main() {
 	data := [][]int64{key, date, status, amount}
 
 	for _, compress := range []bool{false, true} {
-		disk := columnbm.NewDisk(80) // low-end RAID
-		tbl := columnbm.BuildTable(disk, "orders", columnbm.DSM, cols, data, 0, compress)
-		bm := columnbm.NewBufferManager(disk, 1<<30)
+		// Build one column container per column. Auto lets the analyzer
+		// pick a scheme per column; None stores verbatim.
+		var codec zukowski.Codec[int64] = zukowski.None[int64]{}
+		if compress {
+			codec = zukowski.Auto[int64]{}
+		}
+		files := make([]*bytes.Buffer, len(names))
+		var stored, raw int
+		for c := range names {
+			files[c] = &bytes.Buffer{}
+			cw, err := zukowski.NewColumnWriter(files[c], codec, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := cw.Write(data[c]); err != nil {
+				log.Fatal(err)
+			}
+			if err := cw.Close(); err != nil {
+				log.Fatal(err)
+			}
+			stored += files[c].Len()
+			raw += 8 * rows
+		}
 
-		// Query: SELECT status, SUM(amount) WHERE date >= d GROUP BY status.
-		disk.ResetStats()
+		// Query: SELECT status, SUM(amount), COUNT(*) WHERE date >= d
+		// GROUP BY status — a vectorized scan over three of the four
+		// columns, decoded in lockstep one block at a time.
+		cols := make([]*zukowski.ColumnReader[int64], len(names))
+		for c := range names {
+			var err error
+			if cols[c], err = zukowski.OpenColumn[int64](files[c].Bytes()); err != nil {
+				log.Fatal(err)
+			}
+		}
 		start := time.Now()
-		sc := tbl.NewScanner(bm, []int{1, 2, 3}, columnbm.DefaultVectorSize, columnbm.VectorWise)
-		scan := engine.NewScan(sc)
-		sel := engine.NewSelect(scan, 3, engine.FilterGE(0, 8035+1200))
-		agg := engine.NewHashAgg(sel, []int{1}, []engine.AggSpec{
-			{Kind: engine.AggSum, Col: 2}, {Kind: engine.AggCount, Col: 0}}, true)
-		result := engine.Materialize(agg, 3)
-		cpu := time.Since(start)
+		var sum, count [3]int64
+		var dateV, statusV, amountV []int64
+		for b := 0; b < cols[1].NumBlocks(); b++ {
+			var err error
+			if dateV, err = cols[1].ReadBlock(b, dateV[:0]); err != nil {
+				log.Fatal(err)
+			}
+			if statusV, err = cols[2].ReadBlock(b, statusV[:0]); err != nil {
+				log.Fatal(err)
+			}
+			if amountV, err = cols[3].ReadBlock(b, amountV[:0]); err != nil {
+				log.Fatal(err)
+			}
+			for i, d := range dateV {
+				if d >= 8035+1200 {
+					s := statusV[i]
+					sum[s] += amountV[i]
+					count[s]++
+				}
+			}
+		}
+		elapsed := time.Since(start)
 
-		io := disk.ReadTime()
-		total := max(cpu, io)
 		mode := "uncompressed"
 		if compress {
-			mode = fmt.Sprintf("compressed %.2fx", tbl.Ratio())
+			mode = fmt.Sprintf("compressed %.2fx", float64(raw)/float64(stored))
 		}
-		fmt.Printf("%-20s cpu=%-8v io=%-8v total=%-8v decompress=%v\n",
-			mode, cpu.Round(time.Millisecond), io.Round(time.Millisecond),
-			total.Round(time.Millisecond), sc.DecompressTime.Round(time.Millisecond))
-		for i := range result[0] {
-			fmt.Printf("  status=%d  sum=%d  count=%d\n", result[0][i], result[1][i], result[2][i])
+		fmt.Printf("%-20s stored=%8d KB  query=%v\n", mode, stored/1024, elapsed.Round(time.Millisecond))
+		for s := range sum {
+			fmt.Printf("  status=%d  sum=%d  count=%d\n", s, sum[s], count[s])
 		}
 	}
 }

@@ -1,14 +1,17 @@
-// Finegrained: demonstrate random point lookups into compressed segments
-// without full decompression — the entry-point machinery of Section 3.1 —
-// and compare against the cost of decompressing whole blocks.
+// Finegrained: demonstrate random point lookups into a compressed column
+// without full decompression — the entry-point machinery of Section 3.1
+// surfaced through ColumnReader.Get — and compare against the cost of
+// decompressing the whole column.
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
+	"repro/zukowski"
 )
 
 func main() {
@@ -24,12 +27,29 @@ func main() {
 			vals[i] = rng.Int63n(250)
 		}
 	}
-	blk := core.CompressPFOR(vals, 0, 8)
-	fmt.Printf("block: %d values, %.2fx, %.1f%% exceptions\n",
-		blk.N, blk.Ratio(), 100*blk.ExceptionRate())
 
-	// Point lookups via Get: walks at most one 128-value patch list.
-	var d core.Decoder[int64]
+	// Stream the column through a writer with a fixed-parameter PFOR codec.
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter(&buf, zukowski.PFOR[int64]{Base: 0, Width: 8}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cw.Write(vals); err != nil {
+		log.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	cr, err := zukowski.OpenColumn[int64](buf.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("column: %d values in %d blocks, %.2fx compression\n",
+		cr.Len(), cr.NumBlocks(), cr.Ratio())
+
+	// Point lookups via Get: locate the block in the directory, then walk
+	// at most one 128-value patch list.
 	const lookups = 1_000_000
 	idx := make([]int, lookups)
 	for i := range idx {
@@ -38,23 +58,32 @@ func main() {
 	start := time.Now()
 	var sink int64
 	for _, x := range idx {
-		sink += d.Get(blk, x)
+		v, err := cr.Get(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink += v
 	}
 	perGet := time.Since(start) / lookups
 	fmt.Printf("fine-grained Get: %v per lookup (sink %d)\n", perGet, sink%2)
 
 	// Sanity: Get agrees with full decompression.
-	full := make([]int64, n)
-	core.Decompress(blk, full)
+	full, err := cr.ReadAll(make([]int64, 0, n))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, x := range idx[:1000] {
-		if d.Get(blk, x) != full[x] {
-			panic("Get mismatch")
+		v, _ := cr.Get(x)
+		if v != full[x] {
+			log.Fatal("Get mismatch")
 		}
 	}
 
-	// Contrast: decompressing the whole block per lookup would cost this.
+	// Contrast: decompressing the whole column per lookup would cost this.
 	start = time.Now()
-	d.Decompress(blk, full)
-	fmt.Printf("full block decompression: %v (%d values)\n", time.Since(start), n)
-	fmt.Println("=> sparse access should use Get; sequential scans should use Decompress")
+	if _, err := cr.ReadAll(full[:0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full column decompression: %v (%d values)\n", time.Since(start), n)
+	fmt.Println("=> sparse access should use Get; sequential scans should use Scan/ReadAll")
 }

@@ -1,41 +1,90 @@
-// Invertedindex: build a synthetic TREC-like inverted file, compress the
-// postings with PFOR-DELTA, and run the Section 5 retrieval query (top-N
-// documents for a term) against the compressed index.
+// Invertedindex: compress a synthetic inverted-file posting list with
+// every registered codec (the Section 5 workload), pick PFOR-DELTA for the
+// index, and answer a top-N query from the compressed postings.
 package main
 
 import (
 	"fmt"
+	"log"
+	"math/rand"
+	"slices"
 	"time"
 
-	"repro/internal/invfile"
+	"repro/zukowski"
 )
 
 func main() {
-	profile := invfile.Profiles[1] // TREC fbis-like
-	profile.Postings = 400_000
-	c := invfile.Synthesize(profile, 42)
-	fmt.Printf("synthesized %s: %d lists, %d postings (%d KB uncompressed d-gaps)\n",
-		profile.Name, len(c.Lists), c.TotalPostings(), c.UncompressedBytes()/1024)
+	// A TREC-like posting list: 400k postings over 1M documents with a
+	// Zipfian document-frequency skew, sorted by document ID. Sorted IDs
+	// mean small deltas — exactly what PFOR-DELTA is built for.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.3, 4, 1<<20-1)
+	postings := make([]uint32, 400_000)
+	for i := range postings {
+		postings[i] = uint32(zipf.Uint64())
+	}
+	slices.Sort(postings)
+	fmt.Printf("posting list: %d postings, %d KB uncompressed\n",
+		len(postings), 4*len(postings)/1024)
 
-	// Compress the postings column with PFOR-DELTA.
-	blocks, bytes := invfile.CompressPFORDelta(c, 1<<16)
-	fmt.Printf("PFOR-DELTA: %d blocks, %d KB (ratio %.2fx)\n",
-		len(blocks), bytes/1024, float64(c.UncompressedBytes())/float64(bytes))
+	// The registry enumerates every scheme, so this comparison never goes
+	// stale as codecs are added.
+	for _, name := range zukowski.Codecs() {
+		codec, err := zukowski.Lookup[uint32](name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frame, err := codec.Encode(nil, postings)
+		if err != nil {
+			fmt.Printf("  %-12s %v\n", name, err)
+			continue
+		}
+		fmt.Printf("  %-12s %7d KB  (%.2fx)\n",
+			name, len(frame)/1024, 4*float64(len(postings))/float64(len(frame)))
+	}
 
-	// Verify the compressed index decodes exactly.
-	out := invfile.DecompressPFORDelta(blocks, make([]uint32, c.TotalPostings()))
-	fmt.Printf("decoded %d postings\n", len(out))
+	// Build the index with PFOR-DELTA and verify it round-trips.
+	codec, err := zukowski.Lookup[uint32]("pfor-delta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame, err := codec.Encode(nil, postings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := codec.Decode(make([]uint32, 0, len(postings)), frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !slices.Equal(decoded, postings) {
+		log.Fatal("round-trip mismatch")
+	}
 
-	// The retrieval query: top documents for the most frequent term —
-	// merge join postings with document offsets, ordered aggregation,
-	// heap-based top-N.
-	docs := invfile.NewDocTable(profile.NumDocs)
-	list := &c.Lists[0]
+	// The retrieval query: top-5 documents by within-document frequency
+	// (run length in the sorted posting list), answered from the
+	// compressed frame.
 	start := time.Now()
-	ids, freqs := invfile.TopNDocs(list, docs, 5)
-	fmt.Printf("top-5 documents for term %d (list of %d postings, %v):\n",
-		list.Term, len(list.DocIDs), time.Since(start).Round(time.Microsecond))
-	for i := range ids {
-		fmt.Printf("  doc %6d  freq %d\n", ids[i], freqs[i])
+	hits, err := codec.Decode(nil, frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type docFreq struct {
+		doc  uint32
+		freq int
+	}
+	var top []docFreq
+	for i := 0; i < len(hits); {
+		j := i
+		for j < len(hits) && hits[j] == hits[i] {
+			j++
+		}
+		top = append(top, docFreq{hits[i], j - i})
+		i = j
+	}
+	slices.SortFunc(top, func(a, b docFreq) int { return b.freq - a.freq })
+	fmt.Printf("top-5 documents (%d distinct, %v):\n",
+		len(top), time.Since(start).Round(time.Microsecond))
+	for _, d := range top[:5] {
+		fmt.Printf("  doc %7d  freq %d\n", d.doc, d.freq)
 	}
 }

@@ -1,12 +1,15 @@
-// Quickstart: compress a column with automatically chosen parameters,
-// decompress it, and read single values without decompressing the block.
+// Quickstart: compress a column through the public zukowski API — the
+// analyzer picks the scheme, Encode produces a self-describing frame,
+// Decode round-trips it, and Get reads single values without
+// decompressing the block.
 package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/zukowski"
 )
 
 func main() {
@@ -21,23 +24,33 @@ func main() {
 		}
 	}
 
-	// 1. Analyze a sample: the analyzer picks the scheme and parameters
-	//    minimizing modeled bits per value.
-	choice := core.Choose(core.Sample(column, core.DefaultSampleSize))
-	fmt.Printf("analyzer chose %v, b=%d bits (modeled %.2f bits/value, E'=%.3f)\n",
-		choice.Scheme, choice.B, choice.Bits, choice.ExceptionRate)
+	// 1. The Auto codec runs the paper's sample analyzer per Encode call;
+	//    Analyze previews its decision.
+	auto := zukowski.Auto[int64]{}
+	a := auto.Analyze(column)
+	fmt.Printf("analyzer chose %s, b=%d bits (modeled %.2f bits/value, E'=%.3f)\n",
+		a.Scheme, a.Width, a.BitsPerValue, a.ExceptionRate)
 
-	// 2. Compress.
-	blk := choice.Compress(column)
+	// 2. Compress into a self-describing frame.
+	frame, err := auto.Encode(nil, column)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := auto.Stats(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("compressed %d values: %d -> %d bytes (ratio %.2fx, %d exceptions)\n",
-		blk.N, blk.UncompressedBytes(), blk.CompressedBytes(), blk.Ratio(), blk.ExceptionCount())
+		st.NumValues, st.UncompressedBytes, st.EncodedBytes, st.Ratio, st.Exceptions)
 
 	// 3. Decompress everything (two branch-free loops: decode + patch).
-	out := make([]int64, len(column))
-	core.Decompress(blk, out)
+	out, err := auto.Decode(make([]int64, 0, len(column)), frame)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := range column {
 		if out[i] != column[i] {
-			panic("round-trip mismatch")
+			log.Fatal("round-trip mismatch")
 		}
 	}
 	fmt.Println("full decompression round-trips exactly")
@@ -45,6 +58,14 @@ func main() {
 	// 4. Fine-grained access: read single values via the entry points,
 	//    without touching the rest of the block.
 	for _, x := range []int{0, 12_345, 999_999} {
-		fmt.Printf("Get(%d) = %d\n", x, core.Get(blk, x))
+		v, err := auto.Get(frame, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Get(%d) = %d\n", x, v)
 	}
+
+	// 5. The registry enumerates every scheme; tools need not hard-code
+	//    the codec list.
+	fmt.Printf("registered codecs: %v\n", zukowski.Codecs())
 }

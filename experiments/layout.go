@@ -1,0 +1,14 @@
+package experiments
+
+import "repro/internal/columnbm"
+
+// Layout re-exports the physical chunk layout selector so harnesses built
+// on this package (cmd/tpchbench and friends) need not import the internal
+// storage manager directly.
+type Layout = columnbm.Layout
+
+// The two layouts of the paper's Table 2 / Table 3 evaluation.
+const (
+	DSM = columnbm.DSM
+	PAX = columnbm.PAX
+)

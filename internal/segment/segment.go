@@ -25,9 +25,12 @@ var (
 	ErrChecksum  = errors.New("segment: payload checksum mismatch")
 )
 
+// Magic is the first byte of every serialized segment, raw or compressed.
+const Magic = 0xC5 // "compressed segment"
+
 const (
-	magic      = 0xC5 // "compressed segment"
-	headerSize = 44   // includes the payload checksum at offset 40
+	magic      = Magic
+	headerSize = 44 // includes the payload checksum at offset 40
 )
 
 // fnv32 is FNV-1a over the segment payload; it guards the decompression
@@ -132,6 +135,13 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 	if blk.DictLen < 0 || (scheme == core.SchemePDict) != (blk.DictLen > 0) {
 		return nil, ErrCorrupt
 	}
+	// The decoder materializes a dictionary of 1<<B entries so LOOP1 can
+	// index it with bogus gap codes; an unchecked width would let a
+	// 50-byte frame demand a 32GB allocation. Legitimate producers never
+	// exceed MaxDictBits (the analyzer's cap).
+	if scheme == core.SchemePDict && blk.B > core.MaxDictBits {
+		return nil, fmt.Errorf("%w: PDICT width %d exceeds %d bits", ErrCorrupt, blk.B, core.MaxDictBits)
+	}
 	if blk.B > uint(elem)*8 {
 		return nil, ErrCorrupt
 	}
@@ -150,8 +160,21 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 
 	off := headerSize
 	blk.Entries = make([]uint32, numGroups)
+	prevExc := uint32(0)
 	for g := range blk.Entries {
-		blk.Entries[g] = binary.LittleEndian.Uint32(buf[off:])
+		e := binary.LittleEndian.Uint32(buf[off:])
+		// Entry words must point into the exception section in
+		// non-decreasing order, and a group's patch start must lie inside
+		// the group — the patch-walk kernels trust both invariants.
+		exc := e >> 7
+		if exc < prevExc || int(exc) > excCount {
+			return nil, fmt.Errorf("%w: entry point %d", ErrCorrupt, g)
+		}
+		prevExc = exc
+		if gLen := blk.N - g*core.GroupSize; int(e&0x7F) >= gLen && gLen < core.GroupSize {
+			return nil, fmt.Errorf("%w: entry point %d patch start", ErrCorrupt, g)
+		}
+		blk.Entries[g] = e
 		off += 4
 	}
 	if blk.DictLen > 0 {

@@ -1,0 +1,79 @@
+package zukowski
+
+import (
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+// Auto is the self-tuning codec: each Encode call runs the paper's
+// compression-mode analysis (Section 3.1, "Choosing Compression Schemes")
+// on a sample of the input, picks the scheme and parameters minimizing the
+// modeled bits per value, and encodes with the winner. When no scheme beats
+// verbatim storage — or the winner's actual output ends up larger than a
+// raw segment — the values are stored uncoded.
+//
+// Decode, Get and Stats dispatch on the frame header, so a reader needs no
+// knowledge of which scheme the analyzer picked.
+type Auto[T Integer] struct{}
+
+// Name implements Codec.
+func (Auto[T]) Name() string { return "auto" }
+
+// Analysis reports the analyzer's decision for an input.
+type Analysis struct {
+	// Scheme is the chosen scheme's name ("PFOR", "PFOR-DELTA", "PDICT" or
+	// "NONE") and Width its code width in bits.
+	Scheme string
+	Width  uint
+	// BitsPerValue is the modeled compressed size in bits per value,
+	// including projected exceptions and entry-point overhead.
+	BitsPerValue float64
+	// ExceptionRate is the projected effective exception rate E',
+	// including compulsory exceptions (Figure 6 of the paper).
+	ExceptionRate float64
+	// DictEntries is the chosen dictionary size (PDICT only).
+	DictEntries int
+}
+
+// Analyze runs the compression-mode analysis on a sample of src and
+// reports the decision Encode would take, without encoding anything.
+func (Auto[T]) Analyze(src []T) Analysis {
+	ch := core.Choose(core.Sample(src, core.DefaultSampleSize))
+	return Analysis{
+		Scheme:        ch.Scheme.String(),
+		Width:         ch.B,
+		BitsPerValue:  ch.Bits,
+		ExceptionRate: ch.ExceptionRate,
+		DictEntries:   len(ch.Dict),
+	}
+}
+
+// Encode implements Codec.
+func (Auto[T]) Encode(dst []byte, src []T) ([]byte, error) {
+	if err := checkLen(len(src)); err != nil {
+		return nil, err
+	}
+	if len(src) > 0 {
+		ch := core.Choose(core.Sample(src, core.DefaultSampleSize))
+		if ch.Scheme != core.SchemeNone {
+			buf := segment.Marshal(ch.Compress(src))
+			// Fall back to raw storage when compression does not pay on
+			// this particular input (the model decided on a sample).
+			if len(buf) < 8+len(src)*elemSize[T]() {
+				return append(dst, buf...), nil
+			}
+		}
+	}
+	return append(dst, segment.MarshalRaw(src)...), nil
+}
+
+// Decode implements Codec.
+func (Auto[T]) Decode(dst []T, encoded []byte) ([]T, error) {
+	return decodeSegment(dst, encoded)
+}
+
+// Get implements Codec.
+func (Auto[T]) Get(encoded []byte, i int) (T, error) { return segmentGet[T](encoded, i) }
+
+// Stats implements Codec.
+func (Auto[T]) Stats(encoded []byte) (Stats, error) { return segmentStats[T](encoded) }

@@ -1,0 +1,346 @@
+package zukowski
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bitpack"
+)
+
+// This file adapts the paper's baseline comparators (internal/baseline) to
+// the Codec contract: classic frame-of-reference without patching, plain
+// whole-domain dictionary coding, and the inverted-file variable-byte
+// codec. They exist so registry-driven benchmarks compare the patched
+// schemes against the baselines through one interface.
+//
+// Baseline frames use a private layout — a 8-byte header followed by a
+// per-codec payload — and each baseline codec decodes only its own frames:
+//
+//	[0] frame magic 0xB6   [1] codec id   [2] element size   [3] bit width
+//	[4:8] value count (little-endian uint32)
+//
+// None of the baselines keeps entry points, so Get decodes the whole frame
+// (O(n), unlike the patched codecs' fine-grained access).
+
+const baselineMagic = 0xB6
+
+const (
+	frameFOR byte = iota + 1
+	frameDict
+	frameVByte
+)
+
+func putBaselineHeader(dst []byte, id byte, elem int, b uint, n int) []byte {
+	var hdr [8]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = baselineMagic, id, byte(elem), byte(b)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
+	return append(dst, hdr[:]...)
+}
+
+// parseBaselineHeader validates the common frame header and returns the
+// bit width, value count and payload.
+func parseBaselineHeader[T Integer](encoded []byte, id byte) (b uint, n int, payload []byte, err error) {
+	if len(encoded) < 8 {
+		return 0, 0, nil, corrupt(fmt.Errorf("baseline frame of %d bytes", len(encoded)))
+	}
+	if encoded[0] != baselineMagic || encoded[1] != id {
+		return 0, 0, nil, corrupt(fmt.Errorf("bad baseline frame magic % x", encoded[:2]))
+	}
+	if int(encoded[2]) != elemSize[T]() {
+		return 0, 0, nil, corrupt(fmt.Errorf("element size %d, decoding as %d", encoded[2], elemSize[T]()))
+	}
+	b = uint(encoded[3])
+	n = int(binary.LittleEndian.Uint32(encoded[4:]))
+	if b > 32 || n > MaxBlockValues {
+		return 0, 0, nil, corrupt(fmt.Errorf("baseline frame header b=%d n=%d", b, n))
+	}
+	return b, n, encoded[8:], nil
+}
+
+// typeMask returns the mask covering T's unsigned image.
+func typeMask[T Integer]() uint64 {
+	return ^uint64(0) >> (64 - 8*elemSize[T]())
+}
+
+// FOR is classic Frame-of-Reference coding (Goldstein et al., Section 2.1
+// of the paper): every value is an offset from the frame minimum in exactly
+// ceil(log2(max-min+1)) bits, with no exceptions — so a single outlier
+// widens the codes for the whole frame, which is precisely the weakness
+// PFOR's patching fixes. Inputs whose spread needs more than 32 bits return
+// ErrWidthOutOfRange.
+type FOR[T Integer] struct{}
+
+// Name implements Codec.
+func (FOR[T]) Name() string { return "for" }
+
+// Encode implements Codec.
+func (FOR[T]) Encode(dst []byte, src []T) ([]byte, error) {
+	if err := checkLen(len(src)); err != nil {
+		return nil, err
+	}
+	vals := make([]int64, len(src))
+	for i, v := range src {
+		vals[i] = int64(v)
+	}
+	if len(vals) > 0 {
+		minV, maxV := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			minV, maxV = min(minV, v), max(maxV, v)
+		}
+		if spread := uint64(maxV - minV); spread > 1<<32-1 {
+			return nil, fmt.Errorf("%w: FOR spread %d needs more than 32 bits", ErrWidthOutOfRange, spread)
+		}
+	}
+	blk := baseline.CompressFOR(vals)
+	dst = putBaselineHeader(dst, frameFOR, elemSize[T](), blk.B, blk.N)
+	var minBuf [8]byte
+	binary.LittleEndian.PutUint64(minBuf[:], uint64(blk.Min))
+	dst = append(dst, minBuf[:]...)
+	return appendWords(dst, blk.Codes), nil
+}
+
+// decode rebuilds the FOR block of a frame.
+func (FOR[T]) decode(encoded []byte) (*baseline.FORBlock, error) {
+	b, n, payload, err := parseBaselineHeader[T](encoded, frameFOR)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 8 {
+		return nil, corrupt(fmt.Errorf("FOR frame truncated"))
+	}
+	blk := &baseline.FORBlock{
+		Min: int64(binary.LittleEndian.Uint64(payload)),
+		B:   b,
+		N:   n,
+	}
+	words := bitpack.WordCount(n, b)
+	if blk.Codes, err = parseWords(payload[8:], words); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// Decode implements Codec.
+func (c FOR[T]) Decode(dst []T, encoded []byte) ([]T, error) {
+	blk, err := c.decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, blk.N)
+	blk.Decompress(out)
+	dst, tail := grow(dst, blk.N)
+	for i, v := range out {
+		tail[i] = T(v)
+	}
+	return dst, nil
+}
+
+// Get implements Codec. FOR frames have no entry points; the whole frame
+// is decoded.
+func (c FOR[T]) Get(encoded []byte, i int) (T, error) { return decodeAndIndex[T](c, encoded, i) }
+
+// Stats implements Codec.
+func (c FOR[T]) Stats(encoded []byte) (Stats, error) {
+	blk, err := c.decode(encoded)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fillSizes(Stats{
+		Scheme:    "FOR",
+		BitWidth:  blk.B,
+		NumValues: blk.N,
+	}, len(encoded), blk.N*elemSize[T]()), nil
+}
+
+// Dict is plain whole-domain dictionary coding (Section 2.1): every
+// distinct value must enter the dictionary, so codes need ceil(log2(|D|))
+// bits even on highly skewed distributions — the weakness PDict's patching
+// fixes. Inputs with more than 1<<24 distinct values return an error.
+type Dict[T Integer] struct{}
+
+// Name implements Codec.
+func (Dict[T]) Name() string { return "dict" }
+
+// Encode implements Codec.
+func (Dict[T]) Encode(dst []byte, src []T) ([]byte, error) {
+	if err := checkLen(len(src)); err != nil {
+		return nil, err
+	}
+	vals := make([]int64, len(src))
+	for i, v := range src {
+		vals[i] = int64(v)
+	}
+	blk, err := baseline.CompressDict(vals)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrValueOutOfRange, err)
+	}
+	dst = putBaselineHeader(dst, frameDict, elemSize[T](), blk.B, blk.N)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(blk.Dict)))
+	dst = append(dst, cnt[:]...)
+	var ent [8]byte
+	for _, v := range blk.Dict {
+		binary.LittleEndian.PutUint64(ent[:], uint64(v))
+		dst = append(dst, ent[:]...)
+	}
+	return appendWords(dst, blk.Codes), nil
+}
+
+// decode rebuilds the dictionary block of a frame.
+func (Dict[T]) decode(encoded []byte) (*baseline.DictBlock, error) {
+	b, n, payload, err := parseBaselineHeader[T](encoded, frameDict)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 4 {
+		return nil, corrupt(fmt.Errorf("dict frame truncated"))
+	}
+	dictLen := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if dictLen > 1<<24 || len(payload) < 8*dictLen {
+		return nil, corrupt(fmt.Errorf("dict frame: %d dictionary entries, %d payload bytes", dictLen, len(payload)))
+	}
+	blk := &baseline.DictBlock{B: b, N: n, Dict: make([]int64, dictLen)}
+	for i := range blk.Dict {
+		blk.Dict[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	words := bitpack.WordCount(n, b)
+	if blk.Codes, err = parseWords(payload[8*dictLen:], words); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// Decode implements Codec.
+func (c Dict[T]) Decode(dst []T, encoded []byte) (out []T, err error) {
+	// A corrupt frame can hold codes outside the dictionary; the kernel
+	// trusts its inputs, so convert the fault instead of crashing.
+	defer guardSegment(&err)
+	blk, err := c.decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int64, blk.N)
+	blk.Decompress(vals)
+	dst, tail := grow(dst, blk.N)
+	for i, v := range vals {
+		tail[i] = T(v)
+	}
+	return dst, nil
+}
+
+// Get implements Codec. Dict frames have no entry points; the whole frame
+// is decoded.
+func (c Dict[T]) Get(encoded []byte, i int) (T, error) { return decodeAndIndex[T](c, encoded, i) }
+
+// Stats implements Codec.
+func (c Dict[T]) Stats(encoded []byte) (Stats, error) {
+	blk, err := c.decode(encoded)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fillSizes(Stats{
+		Scheme:      "DICT",
+		BitWidth:    blk.B,
+		NumValues:   blk.N,
+		DictEntries: len(blk.Dict),
+	}, len(encoded), blk.N*elemSize[T]()), nil
+}
+
+// VByte is the variable-byte inverted-file codec (Table 4 of the paper):
+// seven value bits per byte, high bit flagging continuation. Values are
+// coded through their unsigned image, which must fit 32 bits — wider values
+// return ErrValueOutOfRange.
+type VByte[T Integer] struct{}
+
+// Name implements Codec.
+func (VByte[T]) Name() string { return "vbyte" }
+
+// Encode implements Codec.
+func (VByte[T]) Encode(dst []byte, src []T) ([]byte, error) {
+	if err := checkLen(len(src)); err != nil {
+		return nil, err
+	}
+	mask := typeMask[T]()
+	vals := make([]uint32, len(src))
+	for i, v := range src {
+		u := uint64(v) & mask
+		if u > 1<<32-1 {
+			return nil, fmt.Errorf("%w: value %d does not fit 32 bits", ErrValueOutOfRange, u)
+		}
+		vals[i] = uint32(u)
+	}
+	dst = putBaselineHeader(dst, frameVByte, elemSize[T](), 0, len(src))
+	return baseline.VByte{}.Encode(dst, vals), nil
+}
+
+// Decode implements Codec.
+func (VByte[T]) Decode(dst []T, encoded []byte) ([]T, error) {
+	_, n, payload, err := parseBaselineHeader[T](encoded, frameVByte)
+	if err != nil {
+		return nil, err
+	}
+	// Each value occupies at least one payload byte; checking before the
+	// allocation keeps a crafted 8-byte header from demanding 128MB.
+	if len(payload) < n {
+		return nil, corrupt(fmt.Errorf("vbyte frame: %d payload bytes for %d values", len(payload), n))
+	}
+	vals, _, err := baseline.VByte{}.Decode(make([]uint32, 0, n), payload, n)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	dst, tail := grow(dst, n)
+	for i, v := range vals {
+		tail[i] = T(v)
+	}
+	return dst, nil
+}
+
+// Get implements Codec. VByte frames have no entry points; the whole frame
+// is decoded.
+func (c VByte[T]) Get(encoded []byte, i int) (T, error) { return decodeAndIndex[T](c, encoded, i) }
+
+// Stats implements Codec.
+func (VByte[T]) Stats(encoded []byte) (Stats, error) {
+	_, n, _, err := parseBaselineHeader[T](encoded, frameVByte)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fillSizes(Stats{Scheme: "VBYTE", NumValues: n}, len(encoded), n*elemSize[T]()), nil
+}
+
+// decodeAndIndex implements Get for codecs without fine-grained access.
+func decodeAndIndex[T Integer](c Codec[T], encoded []byte, i int) (T, error) {
+	var zero T
+	vals, err := c.Decode(nil, encoded)
+	if err != nil {
+		return zero, err
+	}
+	if i < 0 || i >= len(vals) {
+		return zero, fmt.Errorf("%w: %d not in [0,%d)", ErrIndexOutOfRange, i, len(vals))
+	}
+	return vals[i], nil
+}
+
+// appendWords appends a []uint32 code section little-endian.
+func appendWords(dst []byte, words []uint32) []byte {
+	var w [4]byte
+	for _, v := range words {
+		binary.LittleEndian.PutUint32(w[:], v)
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// parseWords reads exactly n little-endian uint32 words.
+func parseWords(payload []byte, n int) ([]uint32, error) {
+	if len(payload) < 4*n {
+		return nil, corrupt(fmt.Errorf("code section: %d bytes, need %d", len(payload), 4*n))
+	}
+	words := make([]uint32, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(payload[4*i:])
+	}
+	return words, nil
+}

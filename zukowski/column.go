@@ -1,0 +1,426 @@
+package zukowski
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+)
+
+// This file implements the streaming column container: a sequence of
+// independently compressed blocks plus a directory footer, the multi-block
+// analogue of ColumnBM's chunked storage (one segment per chunk, Section 4
+// of the paper). Splitting a column into bounded blocks keeps every block
+// under the 25-bit exception-offset limit, lets the analyzer re-tune
+// parameters as the data drifts, and bounds the work of a point lookup.
+//
+// Layout:
+//
+//	header (16 B): "ZKC1", element size, reserved, block size in values
+//	blocks:        one compressed frame per block, back to back
+//	directory:     per block: u64 offset, u32 byte length, u32 value count
+//	tail (16 B):   u64 total values, u32 block count, "ZKE1"
+//
+// The directory lives at the end so the writer streams blocks without
+// seeking; the reader finds it from the fixed-size tail.
+
+const (
+	columnHeaderSize = 16
+	columnDirEntry   = 16
+	columnTailSize   = 16
+
+	// DefaultBlockValues is the writer's default block size: 64K values,
+	// the granularity the paper suggests for sample-based analysis and
+	// small enough that a block comfortably outlives its 25-bit exception
+	// offsets.
+	DefaultBlockValues = 64 * 1024
+)
+
+var (
+	columnMagic = [4]byte{'Z', 'K', 'C', '1'}
+	columnTail  = [4]byte{'Z', 'K', 'E', '1'}
+)
+
+// ColumnWriter streams a column of values into an io.Writer as a sequence
+// of compressed blocks. Values accumulate via Write; every full block is
+// encoded with the writer's codec and flushed immediately, so memory use
+// is bounded by one block regardless of column length. Close flushes the
+// final partial block and appends the directory.
+type ColumnWriter[T Integer] struct {
+	w           io.Writer
+	codec       Codec[T]
+	blockValues int
+
+	buf    []T
+	frame  []byte
+	dir    []columnBlock
+	offset uint64
+	total  uint64
+	closed bool
+	err    error // first write/encode error; sticky
+}
+
+type columnBlock struct {
+	offset uint64
+	length uint32
+	count  uint32
+}
+
+// NewColumnWriter starts a column on w. codec nil defaults to the
+// self-tuning Auto codec; blockValues <= 0 defaults to DefaultBlockValues
+// and may not exceed MaxBlockValues. The 16-byte container header is
+// written immediately.
+func NewColumnWriter[T Integer](w io.Writer, codec Codec[T], blockValues int) (*ColumnWriter[T], error) {
+	if blockValues <= 0 {
+		blockValues = DefaultBlockValues
+	}
+	if blockValues > MaxBlockValues {
+		return nil, fmt.Errorf("%w: block of %d values", ErrBlockTooLarge, blockValues)
+	}
+	if codec == nil {
+		codec = Auto[T]{}
+	}
+	var hdr [columnHeaderSize]byte
+	copy(hdr[:4], columnMagic[:])
+	hdr[4] = byte(elemSize[T]())
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(blockValues))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &ColumnWriter[T]{
+		w:           w,
+		codec:       codec,
+		blockValues: blockValues,
+		offset:      columnHeaderSize,
+	}, nil
+}
+
+// Write appends values to the column, flushing every completed block.
+func (cw *ColumnWriter[T]) Write(vals []T) error {
+	if cw.closed {
+		return ErrClosed
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	for len(vals) > 0 {
+		take := min(cw.blockValues-len(cw.buf), len(vals))
+		cw.buf = append(cw.buf, vals[:take]...)
+		vals = vals[take:]
+		if len(cw.buf) == cw.blockValues {
+			if err := cw.flushBlock(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (cw *ColumnWriter[T]) flushBlock() error {
+	frame, err := cw.codec.Encode(cw.frame[:0], cw.buf)
+	if err == nil {
+		// Fail at write time if the codec emits frames ColumnReader
+		// cannot dispatch on — otherwise the column would be accepted now
+		// and unreadable forever. User codecs must emit (or wrap) the
+		// segment or baseline frame formats.
+		if len(frame) == 0 || (frame[0] != segment.Magic && frame[0] != baselineMagic) {
+			err = fmt.Errorf("%w: codec %q emits frames the column reader cannot decode",
+				ErrUnknownCodec, cw.codec.Name())
+		}
+	}
+	if err == nil {
+		_, err = cw.w.Write(frame)
+	}
+	if err != nil {
+		cw.err = err
+		return err
+	}
+	cw.frame = frame // recycle the encode buffer across blocks
+	cw.dir = append(cw.dir, columnBlock{
+		offset: cw.offset,
+		length: uint32(len(frame)),
+		count:  uint32(len(cw.buf)),
+	})
+	cw.offset += uint64(len(frame))
+	cw.total += uint64(len(cw.buf))
+	cw.buf = cw.buf[:0]
+	return nil
+}
+
+// Close flushes the final partial block and writes the directory footer.
+// Closing an already-closed writer is a no-op.
+func (cw *ColumnWriter[T]) Close() error {
+	if cw.closed {
+		return nil
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	if len(cw.buf) > 0 {
+		if err := cw.flushBlock(); err != nil {
+			return err
+		}
+	}
+	cw.closed = true
+	footer := make([]byte, 0, len(cw.dir)*columnDirEntry+columnTailSize)
+	var ent [columnDirEntry]byte
+	for _, blk := range cw.dir {
+		binary.LittleEndian.PutUint64(ent[:], blk.offset)
+		binary.LittleEndian.PutUint32(ent[8:], blk.length)
+		binary.LittleEndian.PutUint32(ent[12:], blk.count)
+		footer = append(footer, ent[:]...)
+	}
+	var tail [columnTailSize]byte
+	binary.LittleEndian.PutUint64(tail[:], cw.total)
+	binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
+	copy(tail[12:], columnTail[:])
+	footer = append(footer, tail[:]...)
+	_, err := cw.w.Write(footer)
+	if err != nil {
+		cw.err = err
+	}
+	return err
+}
+
+// Len returns the number of values written so far, including buffered ones.
+func (cw *ColumnWriter[T]) Len() int { return int(cw.total) + len(cw.buf) }
+
+// NumBlocks returns the number of blocks flushed so far.
+func (cw *ColumnWriter[T]) NumBlocks() int { return len(cw.dir) }
+
+// CompressedBytes returns the container bytes written so far (header and
+// flushed blocks; the directory is counted only after Close).
+func (cw *ColumnWriter[T]) CompressedBytes() int {
+	n := int(cw.offset)
+	if cw.closed {
+		n += len(cw.dir)*columnDirEntry + columnTailSize
+	}
+	return n
+}
+
+// ColumnReader reads a column container from memory. Point lookups locate
+// the enclosing block through the directory and then use the fine-grained
+// entry-point access of the patched schemes; the most recently touched
+// block stays parsed, so clustered lookups avoid re-reading the directory
+// frame. A ColumnReader is not safe for concurrent use; open one per
+// goroutine (they share the underlying bytes).
+type ColumnReader[T Integer] struct {
+	data   []byte
+	blocks []columnBlock
+	starts []int // starts[i] = first row of block i; len = len(blocks)+1
+	total  int
+
+	// Lazy per-block parse cache for Get: blkCache memoizes the block
+	// form of patched frames (fine-grained access needs only the parsed
+	// sections, not the decoded values); valCache memoizes fully decoded
+	// values for frames without entry points (raw and baseline frames).
+	blkCache []*core.Block[T]
+	valCache [][]T
+	dec      core.Decoder[T]
+}
+
+// OpenColumn parses a container produced by ColumnWriter. The bytes are
+// retained (not copied); they must stay immutable while the reader lives.
+func OpenColumn[T Integer](data []byte) (*ColumnReader[T], error) {
+	if len(data) < columnHeaderSize+columnTailSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptColumn, len(data))
+	}
+	if [4]byte(data[:4]) != columnMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorruptColumn)
+	}
+	if int(data[4]) != elemSize[T]() {
+		return nil, fmt.Errorf("%w: element size %d, reading as %d", ErrCorruptColumn, data[4], elemSize[T]())
+	}
+	tail := data[len(data)-columnTailSize:]
+	if [4]byte(tail[12:]) != columnTail {
+		return nil, fmt.Errorf("%w: bad tail magic", ErrCorruptColumn)
+	}
+	total := binary.LittleEndian.Uint64(tail)
+	numBlocks := int(binary.LittleEndian.Uint32(tail[8:]))
+	dirStart := len(data) - columnTailSize - numBlocks*columnDirEntry
+	if numBlocks < 0 || dirStart < columnHeaderSize {
+		return nil, fmt.Errorf("%w: directory of %d blocks does not fit", ErrCorruptColumn, numBlocks)
+	}
+	cr := &ColumnReader[T]{
+		data:     data,
+		blocks:   make([]columnBlock, numBlocks),
+		starts:   make([]int, numBlocks+1),
+		total:    int(total),
+		blkCache: make([]*core.Block[T], numBlocks),
+		valCache: make([][]T, numBlocks),
+	}
+	rows, nextOffset := 0, uint64(columnHeaderSize)
+	for i := range cr.blocks {
+		ent := data[dirStart+i*columnDirEntry:]
+		blk := columnBlock{
+			offset: binary.LittleEndian.Uint64(ent),
+			length: binary.LittleEndian.Uint32(ent[8:]),
+			count:  binary.LittleEndian.Uint32(ent[12:]),
+		}
+		if blk.offset != nextOffset || blk.offset+uint64(blk.length) > uint64(dirStart) {
+			return nil, fmt.Errorf("%w: block %d escapes the data area", ErrCorruptColumn, i)
+		}
+		cr.blocks[i] = blk
+		cr.starts[i] = rows
+		rows += int(blk.count)
+		nextOffset += uint64(blk.length)
+	}
+	cr.starts[numBlocks] = rows
+	if rows != cr.total {
+		return nil, fmt.Errorf("%w: directory counts %d values, tail says %d", ErrCorruptColumn, rows, cr.total)
+	}
+	return cr, nil
+}
+
+// Len returns the number of values in the column.
+func (cr *ColumnReader[T]) Len() int { return cr.total }
+
+// NumBlocks returns the number of blocks.
+func (cr *ColumnReader[T]) NumBlocks() int { return len(cr.blocks) }
+
+// CompressedBytes returns the container size in bytes.
+func (cr *ColumnReader[T]) CompressedBytes() int { return len(cr.data) }
+
+// UncompressedBytes returns the size the values occupy uncoded.
+func (cr *ColumnReader[T]) UncompressedBytes() int { return cr.total * elemSize[T]() }
+
+// Ratio returns the column-wide compression ratio.
+func (cr *ColumnReader[T]) Ratio() float64 {
+	if len(cr.data) == 0 {
+		return 0
+	}
+	return float64(cr.UncompressedBytes()) / float64(len(cr.data))
+}
+
+// frame returns block i's bytes.
+func (cr *ColumnReader[T]) frame(i int) []byte {
+	blk := cr.blocks[i]
+	return cr.data[blk.offset : blk.offset+uint64(blk.length)]
+}
+
+// decodeColumnFrame decodes one frame regardless of which codec wrote it,
+// dispatching on the frame magic.
+func decodeColumnFrame[T Integer](dst []T, frame []byte) ([]T, error) {
+	if len(frame) == 0 {
+		return nil, corrupt(segment.ErrTooShort)
+	}
+	switch frame[0] {
+	case segment.Magic:
+		return decodeSegment(dst, frame)
+	case baselineMagic:
+		if len(frame) < 2 {
+			return nil, corrupt(segment.ErrTooShort)
+		}
+		switch frame[1] {
+		case frameFOR:
+			return FOR[T]{}.Decode(dst, frame)
+		case frameDict:
+			return Dict[T]{}.Decode(dst, frame)
+		case frameVByte:
+			return VByte[T]{}.Decode(dst, frame)
+		}
+	}
+	return nil, corrupt(fmt.Errorf("unknown frame magic 0x%02x", frame[0]))
+}
+
+// ReadAll appends every value of the column to dst.
+func (cr *ColumnReader[T]) ReadAll(dst []T) ([]T, error) {
+	var err error
+	for i := range cr.blocks {
+		if dst, err = decodeColumnFrame(dst, cr.frame(i)); err != nil {
+			return nil, fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// ReadBlock appends the values of block b to dst. Together with
+// NumBlocks it lets callers zip several same-shaped columns through a
+// query in lockstep, one cache-friendly vector at a time.
+func (cr *ColumnReader[T]) ReadBlock(b int, dst []T) ([]T, error) {
+	if b < 0 || b >= len(cr.blocks) {
+		return nil, fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
+	}
+	out, err := decodeColumnFrame(dst, cr.frame(b))
+	if err != nil {
+		return nil, fmt.Errorf("block %d: %w", b, err)
+	}
+	return out, nil
+}
+
+// Scan decodes the column block by block, invoking fn with each decoded
+// vector. The slice is reused between calls; fn must copy values it keeps.
+// Scanning stops early when fn returns false.
+func (cr *ColumnReader[T]) Scan(fn func(vals []T) bool) error {
+	var buf []T
+	for i := range cr.blocks {
+		vals, err := decodeColumnFrame(buf[:0], cr.frame(i))
+		if err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		buf = vals
+		if !fn(vals) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Get returns the value at row i. For patched frames it uses the
+// entry-point fine-grained access path (at most one 128-value group is
+// touched); raw frames are read in place; baseline frames are decoded
+// whole and cached.
+func (cr *ColumnReader[T]) Get(i int) (v T, err error) {
+	defer guardSegment(&err)
+	if i < 0 || i >= cr.total {
+		return v, fmt.Errorf("%w: %d not in [0,%d)", ErrIndexOutOfRange, i, cr.total)
+	}
+	// Find the enclosing block: the last block starting at or before i.
+	b := sort.SearchInts(cr.starts, i+1) - 1
+	off := i - cr.starts[b]
+	// Raw frames are read in place: one header check and a direct load,
+	// no decode and nothing cached.
+	if frame := cr.frame(b); len(frame) > 0 && frame[0] == segment.Magic && !segment.IsCompressed(frame) {
+		return rawGet[T](frame, off)
+	}
+	if cr.blkCache[b] == nil && cr.valCache[b] == nil {
+		if err := cr.parseBlock(b); err != nil {
+			return v, err
+		}
+	}
+	if blk := cr.blkCache[b]; blk != nil {
+		return cr.dec.Get(blk, off), nil
+	}
+	return cr.valCache[b][off], nil
+}
+
+// parseBlock memoizes block b in the reader's cache. Parsed blocks stay
+// resident for the life of the reader, so a random-access workload pays
+// the frame parse once per block, not once per lookup.
+func (cr *ColumnReader[T]) parseBlock(b int) error {
+	frame := cr.frame(b)
+	want := int(cr.blocks[b].count)
+	if len(frame) > 0 && frame[0] == segment.Magic && segment.IsCompressed(frame) {
+		blk, err := segment.Unmarshal[T](frame)
+		if err != nil {
+			return corrupt(err)
+		}
+		if blk.N != want {
+			return fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, blk.N, want)
+		}
+		cr.blkCache[b] = blk
+	} else {
+		vals, err := decodeColumnFrame[T](nil, frame)
+		if err != nil {
+			return err
+		}
+		if len(vals) != want {
+			return fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, len(vals), want)
+		}
+		cr.valCache[b] = vals
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// buildColumn writes src through a ColumnWriter and returns the container
+// bytes.
+func buildColumn[T zukowski.Integer](t *testing.T, codec zukowski.Codec[T], blockValues int, src []T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter(&buf, codec, blockValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in uneven slices to exercise the writer's internal buffering.
+	for lo := 0; lo < len(src); {
+		hi := min(lo+1+lo%377, len(src))
+		if err := cw.Write(src[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestColumnRoundTrip: every registered codec round-trips through the
+// multi-block column container, with ReadAll, Scan, ReadBlock and Get all
+// agreeing.
+func TestColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := genValues[int64](rng, 10_000)
+	for _, name := range zukowski.Codecs() {
+		codec, err := zukowski.Lookup[int64](name)
+		if errors.Is(err, zukowski.ErrUnknownCodec) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := buildColumn(t, codec, 1024, src)
+		cr, err := zukowski.OpenColumn[int64](data)
+		if err != nil {
+			t.Fatalf("%s: OpenColumn: %v", name, err)
+		}
+		if cr.Len() != len(src) {
+			t.Fatalf("%s: Len = %d, want %d", name, cr.Len(), len(src))
+		}
+		if want := (len(src) + 1023) / 1024; cr.NumBlocks() != want {
+			t.Fatalf("%s: NumBlocks = %d, want %d", name, cr.NumBlocks(), want)
+		}
+
+		out, err := cr.ReadAll(nil)
+		if err != nil {
+			t.Fatalf("%s: ReadAll: %v", name, err)
+		}
+		if len(out) != len(src) {
+			t.Fatalf("%s: ReadAll returned %d values", name, len(out))
+		}
+		for i := range src {
+			if out[i] != src[i] {
+				t.Fatalf("%s: ReadAll value %d: got %d want %d", name, i, out[i], src[i])
+			}
+		}
+
+		var scanned []int64
+		if err := cr.Scan(func(vals []int64) bool {
+			scanned = append(scanned, vals...)
+			return true
+		}); err != nil {
+			t.Fatalf("%s: Scan: %v", name, err)
+		}
+		if len(scanned) != len(src) {
+			t.Fatalf("%s: Scan yielded %d values", name, len(scanned))
+		}
+
+		blockwise, err := cr.ReadBlock(cr.NumBlocks()-1, nil)
+		if err != nil {
+			t.Fatalf("%s: ReadBlock: %v", name, err)
+		}
+		if want := len(src) % 1024; want != 0 && len(blockwise) != want {
+			t.Fatalf("%s: last block has %d values, want %d", name, len(blockwise), want)
+		}
+
+		for k := 0; k < 500; k++ {
+			i := rng.Intn(len(src))
+			v, err := cr.Get(i)
+			if err != nil {
+				t.Fatalf("%s: Get(%d): %v", name, i, err)
+			}
+			if v != src[i] {
+				t.Fatalf("%s: Get(%d) = %d, want %d", name, i, v, src[i])
+			}
+		}
+		for _, i := range []int{-1, len(src)} {
+			if _, err := cr.Get(i); !errors.Is(err, zukowski.ErrIndexOutOfRange) {
+				t.Fatalf("%s: Get(%d) err = %v, want ErrIndexOutOfRange", name, i, err)
+			}
+		}
+		if cr.Ratio() <= 0 {
+			t.Fatalf("%s: Ratio = %v", name, cr.Ratio())
+		}
+	}
+}
+
+// TestColumnWriterDefaults: nil codec defaults to Auto, zero block size to
+// DefaultBlockValues, and writer-side accounting matches the container.
+func TestColumnWriterDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	src := genValues[uint32](rng, 3000)
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[uint32](&buf, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Len() != len(src) {
+		t.Fatalf("writer Len = %d", cw.Len())
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.CompressedBytes() != buf.Len() {
+		t.Fatalf("writer CompressedBytes = %d, container is %d", cw.CompressedBytes(), buf.Len())
+	}
+	if err := cw.Write(src); !errors.Is(err, zukowski.ErrClosed) {
+		t.Fatalf("Write after Close err = %v, want ErrClosed", err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	cr, err := zukowski.OpenColumn[uint32](buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.NumBlocks() != 1 || cr.Len() != len(src) {
+		t.Fatalf("NumBlocks = %d, Len = %d", cr.NumBlocks(), cr.Len())
+	}
+}
+
+// TestColumnWriterOversizedBlock: block sizes beyond the 25-bit limit are
+// rejected up front.
+func TestColumnWriterOversizedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := zukowski.NewColumnWriter[int64](&buf, nil, zukowski.MaxBlockValues+1); !errors.Is(err, zukowski.ErrBlockTooLarge) {
+		t.Fatalf("err = %v, want ErrBlockTooLarge", err)
+	}
+}
+
+// TestColumnCorruption: truncating or damaging a container produces typed
+// errors, never panics.
+func TestColumnCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	src := genValues[int64](rng, 5000)
+	data := buildColumn[int64](t, zukowski.PFOR[int64]{}, 1024, src)
+
+	// Truncation at a spread of prefix lengths: either OpenColumn rejects
+	// the container, or reading it surfaces a typed error.
+	for cut := 0; cut < len(data); cut += 1 + cut/32 {
+		cr, err := zukowski.OpenColumn[int64](data[:cut])
+		if err != nil {
+			if !errors.Is(err, zukowski.ErrCorruptColumn) && !errors.Is(err, zukowski.ErrCorruptSegment) {
+				t.Fatalf("truncation at %d: OpenColumn err = %v", cut, err)
+			}
+			continue
+		}
+		if _, err := cr.ReadAll(nil); err == nil {
+			t.Fatalf("truncation at %d: container of %d bytes read fully", cut, cut)
+		}
+	}
+
+	// Element-type mismatch.
+	if _, err := zukowski.OpenColumn[int8](data); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("element mismatch err = %v, want ErrCorruptColumn", err)
+	}
+
+	// Directory damage: a block count pointing outside the file.
+	bad := bytes.Clone(data)
+	bad[len(bad)-8] = 0xFF
+	bad[len(bad)-7] = 0xFF
+	if _, err := zukowski.OpenColumn[int64](bad); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("directory damage err = %v, want ErrCorruptColumn", err)
+	}
+
+	// Damage inside a block: Get and ReadAll report corruption.
+	bad = bytes.Clone(data)
+	for i := 60; i < 100; i++ {
+		bad[i] ^= 0xA5
+	}
+	cr, err := zukowski.OpenColumn[int64](bad)
+	if err == nil {
+		if _, err = cr.Get(0); err == nil {
+			t.Fatal("Get on damaged block succeeded")
+		}
+		if !errors.Is(err, zukowski.ErrCorruptSegment) && !errors.Is(err, zukowski.ErrCorruptColumn) {
+			t.Fatalf("Get on damaged block err = %v", err)
+		}
+	}
+}
+
+// alienCodec emits frames in a format ColumnReader cannot dispatch on.
+type alienCodec struct{ zukowski.None[int64] }
+
+func (alienCodec) Name() string { return "alien" }
+func (alienCodec) Encode(dst []byte, src []int64) ([]byte, error) {
+	return append(dst, 0x00, 0x01, 0x02), nil
+}
+
+// TestColumnWriterRejectsAlienFrames: a codec whose frames the reader
+// cannot decode fails at write time, not at read time.
+func TestColumnWriterRejectsAlienFrames(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[int64](&buf, alienCodec{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cw.Write(make([]int64, 64)) // four full blocks: flush happens here
+	if !errors.Is(err, zukowski.ErrUnknownCodec) {
+		t.Fatalf("Write err = %v, want ErrUnknownCodec", err)
+	}
+}
+
+// TestColumnEmpty: a column with no values still round-trips.
+func TestColumnEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[int16](&buf, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := zukowski.OpenColumn[int16](buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Len() != 0 || cr.NumBlocks() != 0 {
+		t.Fatalf("Len = %d, NumBlocks = %d", cr.Len(), cr.NumBlocks())
+	}
+	if out, err := cr.ReadAll(nil); err != nil || len(out) != 0 {
+		t.Fatalf("ReadAll = %v, %v", out, err)
+	}
+	if _, err := cr.Get(0); !errors.Is(err, zukowski.ErrIndexOutOfRange) {
+		t.Fatalf("Get(0) err = %v, want ErrIndexOutOfRange", err)
+	}
+}

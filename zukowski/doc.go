@@ -1,0 +1,29 @@
+// Package zukowski is the public face of this repository: a unified codec
+// API over the super-scalar patched compression schemes of Zukowski, Héman,
+// Nes and Boncz ("Super-Scalar RAM-CPU Cache Compression", ICDE 2006) and
+// the baseline schemes the paper compares against.
+//
+// The package wraps the internal kernels (which keep their allocation-free,
+// branch-free hot-loop shapes) behind three layers:
+//
+//   - Codec[T]: one encode/decode/point-lookup contract for every scheme.
+//     Encode appends a self-describing compressed frame to a byte slice;
+//     Decode appends the reconstructed values to a value slice; Get reads a
+//     single value without decompressing the whole frame (fine-grained
+//     access, Section 3.1 of the paper); Stats inspects a frame.
+//   - A name-indexed registry: Register, Lookup and Codecs let tools and
+//     benchmarks enumerate schemes instead of hard-coding them.
+//   - ColumnWriter / ColumnReader: a streaming multi-block column container
+//     with a directory footer, per-block codec dispatch and fine-grained
+//     Get across block boundaries.
+//
+// Unlike the internal packages, nothing here panics on bad input: invalid
+// parameters and corrupt or truncated bytes surface as typed errors
+// (ErrWidthOutOfRange, ErrBlockTooLarge, ErrCorruptSegment, ...).
+//
+// The patched codecs (PFOR, PFORDelta, PDict, None, Auto) all emit the
+// Figure-3 segment layout of internal/segment and can each decode any
+// segment frame regardless of which of them produced it. The baseline
+// codecs (FOR, Dict, VByte) use a private frame layout and decode only
+// their own output.
+package zukowski

@@ -1,0 +1,43 @@
+package zukowski
+
+import "errors"
+
+// Typed errors returned by the public API. The internal kernels panic on
+// misuse (they trust their callers and keep branch-free hot loops); every
+// user-reachable path here validates first and returns one of these
+// instead. Errors wrapping a lower-level cause keep it in the chain, so
+// errors.Is works against both the sentinel and the cause.
+var (
+	// ErrWidthOutOfRange reports a code bit width outside [1,32] or wider
+	// than the element type.
+	ErrWidthOutOfRange = errors.New("zukowski: bit width out of range")
+
+	// ErrBlockTooLarge reports an encode input longer than MaxBlockValues —
+	// the 25-bit exception-offset field of an entry-point word caps blocks
+	// at 1<<25 values (Section 3.1 of the paper).
+	ErrBlockTooLarge = errors.New("zukowski: block exceeds maximum value count")
+
+	// ErrCorruptSegment reports compressed bytes that fail validation:
+	// truncation, bad magic, checksum mismatch, inconsistent header fields
+	// or a patch list that escapes its block.
+	ErrCorruptSegment = errors.New("zukowski: corrupt compressed segment")
+
+	// ErrCorruptColumn reports a column container whose header, directory
+	// footer or block layout fails validation.
+	ErrCorruptColumn = errors.New("zukowski: corrupt column container")
+
+	// ErrIndexOutOfRange reports a Get position outside [0, NumValues).
+	ErrIndexOutOfRange = errors.New("zukowski: value index out of range")
+
+	// ErrValueOutOfRange reports an encode input value outside the codec's
+	// representable domain (e.g. a 64-bit value handed to the 32-bit
+	// variable-byte codec).
+	ErrValueOutOfRange = errors.New("zukowski: value outside codec domain")
+
+	// ErrUnknownCodec reports a Lookup of a name with no registered codec
+	// for the requested element type.
+	ErrUnknownCodec = errors.New("zukowski: unknown codec")
+
+	// ErrClosed reports a write to a closed ColumnWriter.
+	ErrClosed = errors.New("zukowski: column writer is closed")
+)
