@@ -46,6 +46,20 @@ func SynthDict(rng *rand.Rand, n int, b uint, rate float64) (vals, dict []int64)
 	return vals, dict
 }
 
+// SynthSorted generates n nondecreasing 64-bit values whose steps are
+// uniform in [0, 2*step] — the sorted or clustered column shape (dates,
+// auto-increment keys, d-gaps) where PFOR-DELTA compresses best and
+// block-level min/max zone maps prune selective scans hardest.
+func SynthSorted(rng *rand.Rand, n int, step int64) []int64 {
+	vals := make([]int64, n)
+	var cur int64
+	for i := range vals {
+		cur += rng.Int63n(2*step + 1)
+		vals[i] = cur
+	}
+	return vals
+}
+
 // TimeIt runs f repeatedly until it has consumed at least minDuration and
 // returns the mean seconds per call. It keeps harness binaries honest
 // without dragging in the testing package.

@@ -3,6 +3,7 @@ package zukowski
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -17,32 +18,92 @@ import (
 // under the 25-bit exception-offset limit, lets the analyzer re-tune
 // parameters as the data drifts, and bounds the work of a point lookup.
 //
-// Layout:
+// Two format versions exist. ZKC1 (the original layout):
 //
 //	header (16 B): "ZKC1", element size, reserved, block size in values
 //	blocks:        one compressed frame per block, back to back
 //	directory:     per block: u64 offset, u32 byte length, u32 value count
 //	tail (16 B):   u64 total values, u32 block count, "ZKE1"
 //
-// The directory lives at the end so the writer streams blocks without
-// seeking; the reader finds it from the fixed-size tail.
+// ZKC2 (the default since format version 2) keeps the header and frame
+// layout byte-identical but hardens and enriches the footer:
+//
+//	header (16 B): "ZKC2", element size, reserved, block size in values
+//	blocks:        one compressed frame per block, back to back
+//	directory:     per block: u64 offset, u32 byte length, u32 value count,
+//	               u32 CRC32-C of the frame bytes, u32 reserved,
+//	               u64 min value, u64 max value (zone map, element bit pattern)
+//	tail (24 B):   u64 total values, u32 block count,
+//	               u32 CRC32-C of the directory bytes, u32 reserved, "ZKE2"
+//
+// The per-block CRC32-C turns silent bit rot into ErrChecksumMismatch at
+// read time; the min/max pair per block is the zone map ScanWhere consults
+// to skip blocks without decompressing them; the directory checksum
+// protects the metadata that all of this depends on. The directory lives
+// at the end so the writer streams blocks without seeking; the reader
+// finds it from the fixed-size tail.
 
 const (
 	columnHeaderSize = 16
-	columnDirEntry   = 16
-	columnTailSize   = 16
+
+	columnDirEntryV1 = 16
+	columnTailSizeV1 = 16
+
+	columnDirEntryV2 = 40
+	columnTailSizeV2 = 24
 
 	// DefaultBlockValues is the writer's default block size: 64K values,
 	// the granularity the paper suggests for sample-based analysis and
 	// small enough that a block comfortably outlives its 25-bit exception
 	// offsets.
 	DefaultBlockValues = 64 * 1024
+
+	// FormatZKC1 and FormatZKC2 are the column container format versions
+	// accepted by WithFormatVersion. Readers handle both; writers emit
+	// FormatZKC2 unless told otherwise.
+	FormatZKC1 = 1
+	FormatZKC2 = 2
 )
 
 var (
-	columnMagic = [4]byte{'Z', 'K', 'C', '1'}
-	columnTail  = [4]byte{'Z', 'K', 'E', '1'}
+	columnMagicV1 = [4]byte{'Z', 'K', 'C', '1'}
+	columnTailV1  = [4]byte{'Z', 'K', 'E', '1'}
+	columnMagicV2 = [4]byte{'Z', 'K', 'C', '2'}
+	columnTailV2  = [4]byte{'Z', 'K', 'E', '2'}
+
+	// castagnoli is the CRC32-C polynomial table; hardware-accelerated on
+	// amd64/arm64, which keeps the per-block checksum off the critical
+	// path relative to decompression itself.
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
 )
+
+func columnDirEntrySize(version int) int {
+	if version == FormatZKC1 {
+		return columnDirEntryV1
+	}
+	return columnDirEntryV2
+}
+
+func columnTailSize(version int) int {
+	if version == FormatZKC1 {
+		return columnTailSizeV1
+	}
+	return columnTailSizeV2
+}
+
+// ColumnOption configures a ColumnWriter beyond the required arguments.
+type ColumnOption func(*columnConfig)
+
+type columnConfig struct {
+	version int
+}
+
+// WithFormatVersion selects the container format version the writer
+// emits: FormatZKC2 (the default) or FormatZKC1 for byte-compatibility
+// with readers that predate checksums and zone maps.
+func WithFormatVersion(v int) ColumnOption {
+	return func(c *columnConfig) { c.version = v }
+}
 
 // ColumnWriter streams a column of values into an io.Writer as a sequence
 // of compressed blocks. Values accumulate via Write; every full block is
@@ -53,6 +114,7 @@ type ColumnWriter[T Integer] struct {
 	w           io.Writer
 	codec       Codec[T]
 	blockValues int
+	version     int
 
 	buf    []T
 	frame  []byte
@@ -67,13 +129,26 @@ type columnBlock struct {
 	offset uint64
 	length uint32
 	count  uint32
+
+	// ZKC2 only: payload checksum and zone map (element bit patterns).
+	crc     uint32
+	minBits uint64
+	maxBits uint64
 }
 
 // NewColumnWriter starts a column on w. codec nil defaults to the
 // self-tuning Auto codec; blockValues <= 0 defaults to DefaultBlockValues
 // and may not exceed MaxBlockValues. The 16-byte container header is
-// written immediately.
-func NewColumnWriter[T Integer](w io.Writer, codec Codec[T], blockValues int) (*ColumnWriter[T], error) {
+// written immediately. Options select the format version; the default is
+// ZKC2 (per-block CRC32-C, zone maps, directory checksum).
+func NewColumnWriter[T Integer](w io.Writer, codec Codec[T], blockValues int, opts ...ColumnOption) (*ColumnWriter[T], error) {
+	cfg := columnConfig{version: FormatZKC2}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.version != FormatZKC1 && cfg.version != FormatZKC2 {
+		return nil, fmt.Errorf("%w: column format version %d", ErrUnsupportedVersion, cfg.version)
+	}
 	if blockValues <= 0 {
 		blockValues = DefaultBlockValues
 	}
@@ -84,7 +159,11 @@ func NewColumnWriter[T Integer](w io.Writer, codec Codec[T], blockValues int) (*
 		codec = Auto[T]{}
 	}
 	var hdr [columnHeaderSize]byte
-	copy(hdr[:4], columnMagic[:])
+	if cfg.version == FormatZKC1 {
+		copy(hdr[:4], columnMagicV1[:])
+	} else {
+		copy(hdr[:4], columnMagicV2[:])
+	}
 	hdr[4] = byte(elemSize[T]())
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(blockValues))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -94,6 +173,7 @@ func NewColumnWriter[T Integer](w io.Writer, codec Codec[T], blockValues int) (*
 		w:           w,
 		codec:       codec,
 		blockValues: blockValues,
+		version:     cfg.version,
 		offset:      columnHeaderSize,
 	}, nil
 }
@@ -139,11 +219,25 @@ func (cw *ColumnWriter[T]) flushBlock() error {
 		return err
 	}
 	cw.frame = frame // recycle the encode buffer across blocks
-	cw.dir = append(cw.dir, columnBlock{
+	blk := columnBlock{
 		offset: cw.offset,
 		length: uint32(len(frame)),
 		count:  uint32(len(cw.buf)),
-	})
+	}
+	if cw.version >= FormatZKC2 {
+		blk.crc = crc32.Checksum(frame, castagnoli)
+		lo, hi := cw.buf[0], cw.buf[0]
+		for _, v := range cw.buf[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		blk.minBits, blk.maxBits = zoneBits(lo), zoneBits(hi)
+	}
+	cw.dir = append(cw.dir, blk)
 	cw.offset += uint64(len(frame))
 	cw.total += uint64(len(cw.buf))
 	cw.buf = cw.buf[:0]
@@ -165,19 +259,35 @@ func (cw *ColumnWriter[T]) Close() error {
 		}
 	}
 	cw.closed = true
-	footer := make([]byte, 0, len(cw.dir)*columnDirEntry+columnTailSize)
-	var ent [columnDirEntry]byte
+	entrySize := columnDirEntrySize(cw.version)
+	footer := make([]byte, 0, len(cw.dir)*entrySize+columnTailSize(cw.version))
 	for _, blk := range cw.dir {
+		var ent [columnDirEntryV2]byte
 		binary.LittleEndian.PutUint64(ent[:], blk.offset)
 		binary.LittleEndian.PutUint32(ent[8:], blk.length)
 		binary.LittleEndian.PutUint32(ent[12:], blk.count)
-		footer = append(footer, ent[:]...)
+		if cw.version >= FormatZKC2 {
+			binary.LittleEndian.PutUint32(ent[16:], blk.crc)
+			binary.LittleEndian.PutUint64(ent[24:], blk.minBits)
+			binary.LittleEndian.PutUint64(ent[32:], blk.maxBits)
+		}
+		footer = append(footer, ent[:entrySize]...)
 	}
-	var tail [columnTailSize]byte
-	binary.LittleEndian.PutUint64(tail[:], cw.total)
-	binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
-	copy(tail[12:], columnTail[:])
-	footer = append(footer, tail[:]...)
+	if cw.version == FormatZKC1 {
+		var tail [columnTailSizeV1]byte
+		binary.LittleEndian.PutUint64(tail[:], cw.total)
+		binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
+		copy(tail[12:], columnTailV1[:])
+		footer = append(footer, tail[:]...)
+	} else {
+		dirCRC := crc32.Checksum(footer, castagnoli)
+		var tail [columnTailSizeV2]byte
+		binary.LittleEndian.PutUint64(tail[:], cw.total)
+		binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
+		binary.LittleEndian.PutUint32(tail[12:], dirCRC)
+		copy(tail[20:], columnTailV2[:])
+		footer = append(footer, tail[:]...)
+	}
 	_, err := cw.w.Write(footer)
 	if err != nil {
 		cw.err = err
@@ -191,27 +301,86 @@ func (cw *ColumnWriter[T]) Len() int { return int(cw.total) + len(cw.buf) }
 // NumBlocks returns the number of blocks flushed so far.
 func (cw *ColumnWriter[T]) NumBlocks() int { return len(cw.dir) }
 
+// FormatVersion returns the container format version being written.
+func (cw *ColumnWriter[T]) FormatVersion() int { return cw.version }
+
 // CompressedBytes returns the container bytes written so far (header and
 // flushed blocks; the directory is counted only after Close).
 func (cw *ColumnWriter[T]) CompressedBytes() int {
 	n := int(cw.offset)
 	if cw.closed {
-		n += len(cw.dir)*columnDirEntry + columnTailSize
+		n += len(cw.dir)*columnDirEntrySize(cw.version) + columnTailSize(cw.version)
 	}
 	return n
 }
 
-// ColumnReader reads a column container from memory. Point lookups locate
-// the enclosing block through the directory and then use the fine-grained
+// columnSource abstracts where container bytes come from: a []byte held
+// in memory, or an io.ReaderAt fetched lazily block by block.
+type columnSource interface {
+	// view returns n bytes at off. A byte-backed source returns a
+	// subslice of the original data; a ReaderAt-backed source returns a
+	// freshly allocated buffer (so callers may retain the result either
+	// way).
+	view(off int64, n int) ([]byte, error)
+	size() int64
+	// stable reports whether repeated views of the same range return the
+	// same bytes (true for in-memory data, false for a ReaderAt, whose
+	// backing file can change or rot between reads). Only stable sources
+	// may memoize a passed checksum.
+	stable() bool
+}
+
+type byteSource []byte
+
+func (s byteSource) size() int64 { return int64(len(s)) }
+
+func (s byteSource) stable() bool { return true }
+
+func (s byteSource) view(off int64, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(s)) {
+		return nil, fmt.Errorf("%w: read of [%d,%d) beyond %d bytes", ErrCorruptColumn, off, off+int64(n), len(s))
+	}
+	return s[off : off+int64(n)], nil
+}
+
+type readerAtSource struct {
+	r io.ReaderAt
+	n int64
+}
+
+func (s *readerAtSource) size() int64 { return s.n }
+
+func (s *readerAtSource) stable() bool { return false }
+
+func (s *readerAtSource) view(off int64, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+int64(n) > s.n {
+		return nil, fmt.Errorf("%w: read of [%d,%d) beyond %d bytes", ErrCorruptColumn, off, off+int64(n), s.n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(s.r, off, int64(n)), buf); err != nil {
+		return nil, fmt.Errorf("%w: reading [%d,%d): %w", ErrCorruptColumn, off, off+int64(n), err)
+	}
+	return buf, nil
+}
+
+// ColumnReader reads a column container. Point lookups locate the
+// enclosing block through the directory and then use the fine-grained
 // entry-point access of the patched schemes; the most recently touched
 // block stays parsed, so clustered lookups avoid re-reading the directory
 // frame. A ColumnReader is not safe for concurrent use; open one per
-// goroutine (they share the underlying bytes).
+// goroutine (they share the underlying bytes or ReaderAt).
 type ColumnReader[T Integer] struct {
-	data   []byte
-	blocks []columnBlock
-	starts []int // starts[i] = first row of block i; len = len(blocks)+1
-	total  int
+	src     columnSource
+	version int
+	blocks  []columnBlock
+	starts  []int // starts[i] = first row of block i; len = len(blocks)+1
+	total   int
+
+	// verified[i] records that block i's payload already passed its
+	// CRC32-C check, so repeated lookups into one block hash it once.
+	// Only consulted for stable sources: a ReaderAt re-reads bytes on
+	// every view, so every fetch is re-verified.
+	verified []bool
 
 	// Lazy per-block parse cache for Get: blkCache memoizes the block
 	// form of patched frames (fine-grained access needs only the parsed
@@ -222,43 +391,104 @@ type ColumnReader[T Integer] struct {
 	dec      core.Decoder[T]
 }
 
-// OpenColumn parses a container produced by ColumnWriter. The bytes are
-// retained (not copied); they must stay immutable while the reader lives.
+// OpenColumn parses a container produced by ColumnWriter, accepting both
+// the ZKC1 and ZKC2 formats. The bytes are retained (not copied); they
+// must stay immutable while the reader lives.
 func OpenColumn[T Integer](data []byte) (*ColumnReader[T], error) {
-	if len(data) < columnHeaderSize+columnTailSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptColumn, len(data))
+	return openColumn[T](byteSource(data))
+}
+
+// OpenColumnReaderAt opens a container through an io.ReaderAt of the given
+// total size, fetching the header and directory eagerly but block frames
+// lazily — a column far larger than RAM streams through Scan one block at
+// a time, the way ColumnBM pages chunks through its buffer manager. The
+// ReaderAt must allow concurrent-safe reads at arbitrary offsets (os.File,
+// bytes.Reader and mmap wrappers all qualify).
+func OpenColumnReaderAt[T Integer](r io.ReaderAt, size int64) (*ColumnReader[T], error) {
+	return openColumn[T](&readerAtSource{r: r, n: size})
+}
+
+func openColumn[T Integer](src columnSource) (*ColumnReader[T], error) {
+	size := src.size()
+	if size < columnHeaderSize+columnTailSizeV1 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptColumn, size)
 	}
-	if [4]byte(data[:4]) != columnMagic {
+	hdr, err := src.view(0, columnHeaderSize)
+	if err != nil {
+		return nil, err
+	}
+	var version int
+	switch [4]byte(hdr[:4]) {
+	case columnMagicV1:
+		version = FormatZKC1
+	case columnMagicV2:
+		version = FormatZKC2
+	default:
 		return nil, fmt.Errorf("%w: bad header magic", ErrCorruptColumn)
 	}
-	if int(data[4]) != elemSize[T]() {
-		return nil, fmt.Errorf("%w: element size %d, reading as %d", ErrCorruptColumn, data[4], elemSize[T]())
+	if int(hdr[4]) != elemSize[T]() {
+		return nil, fmt.Errorf("%w: element size %d, reading as %d", ErrCorruptColumn, hdr[4], elemSize[T]())
 	}
-	tail := data[len(data)-columnTailSize:]
-	if [4]byte(tail[12:]) != columnTail {
-		return nil, fmt.Errorf("%w: bad tail magic", ErrCorruptColumn)
+	tailSize := columnTailSize(version)
+	if size < int64(columnHeaderSize+tailSize) {
+		return nil, fmt.Errorf("%w: %d bytes too small for %s tail", ErrCorruptColumn, size, FormatName(version))
 	}
-	total := binary.LittleEndian.Uint64(tail)
-	numBlocks := int(binary.LittleEndian.Uint32(tail[8:]))
-	dirStart := len(data) - columnTailSize - numBlocks*columnDirEntry
+	tail, err := src.view(size-int64(tailSize), tailSize)
+	if err != nil {
+		return nil, err
+	}
+	var total uint64
+	var numBlocks int
+	var dirCRC uint32
+	if version == FormatZKC1 {
+		if [4]byte(tail[12:]) != columnTailV1 {
+			return nil, fmt.Errorf("%w: bad tail magic", ErrCorruptColumn)
+		}
+	} else {
+		if [4]byte(tail[20:]) != columnTailV2 {
+			return nil, fmt.Errorf("%w: bad tail magic", ErrCorruptColumn)
+		}
+		dirCRC = binary.LittleEndian.Uint32(tail[12:])
+	}
+	total = binary.LittleEndian.Uint64(tail)
+	numBlocks = int(binary.LittleEndian.Uint32(tail[8:]))
+	entrySize := columnDirEntrySize(version)
+	dirStart := size - int64(tailSize) - int64(numBlocks)*int64(entrySize)
 	if numBlocks < 0 || dirStart < columnHeaderSize {
 		return nil, fmt.Errorf("%w: directory of %d blocks does not fit", ErrCorruptColumn, numBlocks)
 	}
+	dir, err := src.view(dirStart, numBlocks*entrySize)
+	if err != nil {
+		return nil, err
+	}
+	if version >= FormatZKC2 {
+		if got := crc32.Checksum(dir, castagnoli); got != dirCRC {
+			return nil, fmt.Errorf("%w: %w over directory (stored %08x, computed %08x)",
+				ErrCorruptColumn, ErrChecksumMismatch, dirCRC, got)
+		}
+	}
 	cr := &ColumnReader[T]{
-		data:     data,
+		src:      src,
+		version:  version,
 		blocks:   make([]columnBlock, numBlocks),
 		starts:   make([]int, numBlocks+1),
 		total:    int(total),
+		verified: make([]bool, numBlocks),
 		blkCache: make([]*core.Block[T], numBlocks),
 		valCache: make([][]T, numBlocks),
 	}
 	rows, nextOffset := 0, uint64(columnHeaderSize)
 	for i := range cr.blocks {
-		ent := data[dirStart+i*columnDirEntry:]
+		ent := dir[i*entrySize:]
 		blk := columnBlock{
 			offset: binary.LittleEndian.Uint64(ent),
 			length: binary.LittleEndian.Uint32(ent[8:]),
 			count:  binary.LittleEndian.Uint32(ent[12:]),
+		}
+		if version >= FormatZKC2 {
+			blk.crc = binary.LittleEndian.Uint32(ent[16:])
+			blk.minBits = binary.LittleEndian.Uint64(ent[24:])
+			blk.maxBits = binary.LittleEndian.Uint64(ent[32:])
 		}
 		if blk.offset != nextOffset || blk.offset+uint64(blk.length) > uint64(dirStart) {
 			return nil, fmt.Errorf("%w: block %d escapes the data area", ErrCorruptColumn, i)
@@ -281,24 +511,41 @@ func (cr *ColumnReader[T]) Len() int { return cr.total }
 // NumBlocks returns the number of blocks.
 func (cr *ColumnReader[T]) NumBlocks() int { return len(cr.blocks) }
 
+// FormatVersion returns the container format version (FormatZKC1 or
+// FormatZKC2).
+func (cr *ColumnReader[T]) FormatVersion() int { return cr.version }
+
 // CompressedBytes returns the container size in bytes.
-func (cr *ColumnReader[T]) CompressedBytes() int { return len(cr.data) }
+func (cr *ColumnReader[T]) CompressedBytes() int { return int(cr.src.size()) }
 
 // UncompressedBytes returns the size the values occupy uncoded.
 func (cr *ColumnReader[T]) UncompressedBytes() int { return cr.total * elemSize[T]() }
 
 // Ratio returns the column-wide compression ratio.
 func (cr *ColumnReader[T]) Ratio() float64 {
-	if len(cr.data) == 0 {
+	if cr.src.size() == 0 {
 		return 0
 	}
-	return float64(cr.UncompressedBytes()) / float64(len(cr.data))
+	return float64(cr.UncompressedBytes()) / float64(cr.src.size())
 }
 
-// frame returns block i's bytes.
-func (cr *ColumnReader[T]) frame(i int) []byte {
-	blk := cr.blocks[i]
-	return cr.data[blk.offset : blk.offset+uint64(blk.length)]
+// frame returns block b's bytes, verifying the ZKC2 payload checksum: on
+// a stable (in-memory) source the check runs once per block; a ReaderAt
+// source re-reads bytes on every view, so every fetch is re-verified.
+func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
+	blk := cr.blocks[b]
+	buf, err := cr.src.view(int64(blk.offset), int(blk.length))
+	if err != nil {
+		return nil, err
+	}
+	if cr.version >= FormatZKC2 && !(cr.src.stable() && cr.verified[b]) {
+		if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
+			return nil, fmt.Errorf("%w: %w over block %d payload (stored %08x, computed %08x)",
+				ErrCorruptColumn, ErrChecksumMismatch, b, blk.crc, got)
+		}
+		cr.verified[b] = true
+	}
+	return buf, nil
 }
 
 // decodeColumnFrame decodes one frame regardless of which codec wrote it,
@@ -326,12 +573,25 @@ func decodeColumnFrame[T Integer](dst []T, frame []byte) ([]T, error) {
 	return nil, corrupt(fmt.Errorf("unknown frame magic 0x%02x", frame[0]))
 }
 
+// readBlockInto fetches and decodes block b, appending its values to dst.
+func (cr *ColumnReader[T]) readBlockInto(b int, dst []T) ([]T, error) {
+	frame, err := cr.frame(b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := decodeColumnFrame(dst, frame)
+	if err != nil {
+		return nil, fmt.Errorf("block %d: %w", b, err)
+	}
+	return out, nil
+}
+
 // ReadAll appends every value of the column to dst.
 func (cr *ColumnReader[T]) ReadAll(dst []T) ([]T, error) {
 	var err error
 	for i := range cr.blocks {
-		if dst, err = decodeColumnFrame(dst, cr.frame(i)); err != nil {
-			return nil, fmt.Errorf("block %d: %w", i, err)
+		if dst, err = cr.readBlockInto(i, dst); err != nil {
+			return nil, err
 		}
 	}
 	return dst, nil
@@ -344,11 +604,7 @@ func (cr *ColumnReader[T]) ReadBlock(b int, dst []T) ([]T, error) {
 	if b < 0 || b >= len(cr.blocks) {
 		return nil, fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
 	}
-	out, err := decodeColumnFrame(dst, cr.frame(b))
-	if err != nil {
-		return nil, fmt.Errorf("block %d: %w", b, err)
-	}
-	return out, nil
+	return cr.readBlockInto(b, dst)
 }
 
 // Scan decodes the column block by block, invoking fn with each decoded
@@ -357,9 +613,9 @@ func (cr *ColumnReader[T]) ReadBlock(b int, dst []T) ([]T, error) {
 func (cr *ColumnReader[T]) Scan(fn func(vals []T) bool) error {
 	var buf []T
 	for i := range cr.blocks {
-		vals, err := decodeColumnFrame(buf[:0], cr.frame(i))
+		vals, err := cr.readBlockInto(i, buf[:0])
 		if err != nil {
-			return fmt.Errorf("block %d: %w", i, err)
+			return err
 		}
 		buf = vals
 		if !fn(vals) {
@@ -381,13 +637,20 @@ func (cr *ColumnReader[T]) Get(i int) (v T, err error) {
 	// Find the enclosing block: the last block starting at or before i.
 	b := sort.SearchInts(cr.starts, i+1) - 1
 	off := i - cr.starts[b]
-	// Raw frames are read in place: one header check and a direct load,
-	// no decode and nothing cached.
-	if frame := cr.frame(b); len(frame) > 0 && frame[0] == segment.Magic && !segment.IsCompressed(frame) {
-		return rawGet[T](frame, off)
-	}
 	if cr.blkCache[b] == nil && cr.valCache[b] == nil {
-		if err := cr.parseBlock(b); err != nil {
+		frame, ferr := cr.frame(b)
+		if ferr != nil {
+			return v, ferr
+		}
+		// On an in-memory source, raw frames are read in place: one
+		// header check and a direct load, no decode and nothing cached.
+		// Through a ReaderAt that shortcut would re-fetch the whole
+		// block from the source on every lookup, so those fall through
+		// to the decode-and-memoize path like any other frame.
+		if cr.src.stable() && len(frame) > 0 && frame[0] == segment.Magic && !segment.IsCompressed(frame) {
+			return rawGet[T](frame, off)
+		}
+		if err := cr.parseBlock(b, frame); err != nil {
 			return v, err
 		}
 	}
@@ -400,8 +663,7 @@ func (cr *ColumnReader[T]) Get(i int) (v T, err error) {
 // parseBlock memoizes block b in the reader's cache. Parsed blocks stay
 // resident for the life of the reader, so a random-access workload pays
 // the frame parse once per block, not once per lookup.
-func (cr *ColumnReader[T]) parseBlock(b int) error {
-	frame := cr.frame(b)
+func (cr *ColumnReader[T]) parseBlock(b int, frame []byte) error {
 	want := int(cr.blocks[b].count)
 	if len(frame) > 0 && frame[0] == segment.Magic && segment.IsCompressed(frame) {
 		blk, err := segment.Unmarshal[T](frame)

@@ -184,10 +184,11 @@ func TestColumnCorruption(t *testing.T) {
 		t.Fatalf("element mismatch err = %v, want ErrCorruptColumn", err)
 	}
 
-	// Directory damage: a block count pointing outside the file.
+	// Directory damage: a block count pointing outside the file (the ZKC2
+	// tail stores the count 16 bytes from the end).
 	bad := bytes.Clone(data)
-	bad[len(bad)-8] = 0xFF
-	bad[len(bad)-7] = 0xFF
+	bad[len(bad)-16] = 0xFF
+	bad[len(bad)-15] = 0xFF
 	if _, err := zukowski.OpenColumn[int64](bad); !errors.Is(err, zukowski.ErrCorruptColumn) {
 		t.Fatalf("directory damage err = %v, want ErrCorruptColumn", err)
 	}

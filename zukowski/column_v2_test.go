@@ -1,0 +1,608 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// --- ZKC1 backward compatibility ---------------------------------------
+
+// compatInt64 regenerates the value stream baked into
+// testdata/zkc1_int64_pfor.bin (written by the PR-1 writer).
+func compatInt64(rng *rand.Rand) []int64 {
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = 100_000 + rng.Int63n(4096)
+		if i%100 == 0 {
+			vals[i] = rng.Int63()
+		}
+	}
+	return vals
+}
+
+// compatUint32 regenerates testdata/zkc1_uint32_auto.bin.
+func compatUint32(rng *rand.Rand) []uint32 {
+	vals := make([]uint32, 2500)
+	for i := range vals {
+		vals[i] = 7_000_000 + uint32(rng.Intn(1<<14))
+	}
+	return vals
+}
+
+// compatInt16 regenerates testdata/zkc1_int16_for.bin.
+func compatInt16(rng *rand.Rand) []int16 {
+	vals := make([]int16, 900)
+	for i := range vals {
+		vals[i] = int16(rng.Intn(512)) - 100
+	}
+	return vals
+}
+
+// checkZKC1Fixture reads a golden ZKC1 container written before this PR,
+// verifies it still parses as format version 1 and yields the original
+// values, and re-writes the same values with WithFormatVersion(FormatZKC1)
+// to prove the v1 write path still emits byte-identical containers.
+func checkZKC1Fixture[T zukowski.Integer](t *testing.T, file string, codec zukowski.Codec[T], blockValues int, want []T) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := zukowski.OpenColumn[T](data)
+	if err != nil {
+		t.Fatalf("%s: OpenColumn: %v", file, err)
+	}
+	if cr.FormatVersion() != zukowski.FormatZKC1 {
+		t.Fatalf("%s: FormatVersion = %d, want %d", file, cr.FormatVersion(), zukowski.FormatZKC1)
+	}
+	if cr.HasZoneMaps() {
+		t.Fatalf("%s: ZKC1 container claims zone maps", file)
+	}
+	if _, _, ok := cr.ZoneMap(0); ok {
+		t.Fatalf("%s: ZoneMap ok on ZKC1", file)
+	}
+	got, err := cr.ReadAll(nil)
+	if err != nil {
+		t.Fatalf("%s: ReadAll: %v", file, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: read %d values, want %d", file, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d: got %v want %v", file, i, got[i], want[i])
+		}
+	}
+	if err := cr.Verify(); err != nil {
+		t.Fatalf("%s: Verify: %v", file, err)
+	}
+
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter(&buf, codec, blockValues, zukowski.WithFormatVersion(zukowski.FormatZKC1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.FormatVersion() != zukowski.FormatZKC1 {
+		t.Fatalf("writer FormatVersion = %d", cw.FormatVersion())
+	}
+	if err := cw.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("%s: v1 writer no longer byte-identical (%d bytes vs fixture %d)", file, buf.Len(), len(data))
+	}
+}
+
+// TestZKC1Fixtures: golden containers written by the pre-ZKC2 writer still
+// read back exactly, and the v1 write path is still byte-identical.
+func TestZKC1Fixtures(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	i64 := compatInt64(rng)
+	u32 := compatUint32(rng)
+	i16 := compatInt16(rng)
+	checkZKC1Fixture(t, "zkc1_int64_pfor.bin", zukowski.PFOR[int64]{}, 512, i64)
+	checkZKC1Fixture[uint32](t, "zkc1_uint32_auto.bin", nil, 300, u32)
+	checkZKC1Fixture(t, "zkc1_int16_for.bin", zukowski.FOR[int16]{}, 256, i16)
+}
+
+// --- ZKC2 round trip ----------------------------------------------------
+
+// buildColumnV2 writes src with the default (ZKC2) writer.
+func buildColumnV2[T zukowski.Integer](t *testing.T, codec zukowski.Codec[T], blockValues int, src []T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter(&buf, codec, blockValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkReads drives ReadAll, Get and Verify of one reader against src.
+func checkReads[T zukowski.Integer](t *testing.T, cr *zukowski.ColumnReader[T], src []T) {
+	t.Helper()
+	if cr.Len() != len(src) {
+		t.Fatalf("Len = %d, want %d", cr.Len(), len(src))
+	}
+	got, err := cr.ReadAll(nil)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("ReadAll value %d: got %v want %v", i, got[i], src[i])
+		}
+	}
+	for k := 0; k < 200; k++ {
+		i := (k * 7919) % len(src)
+		v, err := cr.Get(i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if v != src[i] {
+			t.Fatalf("Get(%d) = %v, want %v", i, v, src[i])
+		}
+	}
+	if err := cr.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// zkc2RoundTrip exercises one element type end to end: default writer
+// emits ZKC2, both the in-memory and the ReaderAt-backed readers agree
+// with the source, and the zone maps bound every block.
+func zkc2RoundTrip[T zukowski.Integer](t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	src := genValues[T](rng, 3000)
+	data := buildColumnV2[T](t, nil, 256, src)
+
+	cr, err := zukowski.OpenColumn[T](data)
+	if err != nil {
+		t.Fatalf("OpenColumn: %v", err)
+	}
+	if cr.FormatVersion() != zukowski.FormatZKC2 {
+		t.Fatalf("FormatVersion = %d, want %d", cr.FormatVersion(), zukowski.FormatZKC2)
+	}
+	checkReads(t, cr, src)
+
+	// Zone maps must bound every block's actual values exactly.
+	for b := 0; b < cr.NumBlocks(); b++ {
+		lo, hi, ok := cr.ZoneMap(b)
+		if !ok {
+			t.Fatalf("block %d: no zone map on ZKC2", b)
+		}
+		vals, err := cr.ReadBlock(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLo, wantHi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < wantLo {
+				wantLo = v
+			}
+			if v > wantHi {
+				wantHi = v
+			}
+		}
+		if lo != wantLo || hi != wantHi {
+			t.Fatalf("block %d: zone map [%v,%v], values span [%v,%v]", b, lo, hi, wantLo, wantHi)
+		}
+		info, err := cr.BlockInfo(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.HasChecksum || !info.HasZoneMap || info.Min != wantLo || info.Max != wantHi || info.Count != len(vals) {
+			t.Fatalf("block %d: BlockInfo = %+v", b, info)
+		}
+	}
+
+	// The ReaderAt-backed reader sees the same column.
+	lazy, err := zukowski.OpenColumnReaderAt[T](bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("OpenColumnReaderAt: %v", err)
+	}
+	checkReads(t, lazy, src)
+}
+
+// TestZKC2RoundTripAllTypes: the new format round-trips for all 8 element
+// types through both column sources.
+func TestZKC2RoundTripAllTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	t.Run("int8", func(t *testing.T) { zkc2RoundTrip[int8](t, rng) })
+	t.Run("int16", func(t *testing.T) { zkc2RoundTrip[int16](t, rng) })
+	t.Run("int32", func(t *testing.T) { zkc2RoundTrip[int32](t, rng) })
+	t.Run("int64", func(t *testing.T) { zkc2RoundTrip[int64](t, rng) })
+	t.Run("uint8", func(t *testing.T) { zkc2RoundTrip[uint8](t, rng) })
+	t.Run("uint16", func(t *testing.T) { zkc2RoundTrip[uint16](t, rng) })
+	t.Run("uint32", func(t *testing.T) { zkc2RoundTrip[uint32](t, rng) })
+	t.Run("uint64", func(t *testing.T) { zkc2RoundTrip[uint64](t, rng) })
+}
+
+// TestZKC2NegativeZoneMaps: signed columns with negative values keep
+// correct zone-map ordering through the 64-bit directory representation.
+func TestZKC2NegativeZoneMaps(t *testing.T) {
+	src := make([]int32, 1000)
+	for i := range src {
+		src[i] = int32(i%200) - 100 // spans [-100, 99]
+	}
+	data := buildColumnV2(t, zukowski.FOR[int32]{}, 250, src)
+	cr, err := zukowski.OpenColumn[int32](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := cr.ZoneMap(0)
+	if !ok || lo != -100 || hi != 99 {
+		t.Fatalf("ZoneMap(0) = %d, %d, %v; want -100, 99, true", lo, hi, ok)
+	}
+	if n := cr.CountCandidateBlocks(-200, -101); n != 0 {
+		t.Fatalf("CountCandidateBlocks below range = %d, want 0", n)
+	}
+	if n := cr.CountCandidateBlocks(-100, -100); n != cr.NumBlocks() {
+		t.Fatalf("CountCandidateBlocks(-100,-100) = %d, want %d", n, cr.NumBlocks())
+	}
+}
+
+// --- checksum corruption ------------------------------------------------
+
+// TestZKC2PayloadBitFlip: a single flipped bit in any block payload makes
+// every read path fail with ErrChecksumMismatch (which also matches the
+// ErrCorruptColumn umbrella).
+func TestZKC2PayloadBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := genValues[int64](rng, 4000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cr.BlockInfo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(data)
+	bad[int(info.Offset)+info.Length/2] ^= 0x01 // one bit, mid-payload of block 2
+
+	crBad, err := zukowski.OpenColumn[int64](bad) // directory is intact
+	if err != nil {
+		t.Fatalf("OpenColumn after payload flip: %v", err)
+	}
+	if _, err := crBad.ReadAll(nil); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("ReadAll err = %v, want ErrChecksumMismatch", err)
+	}
+	row := 2*512 + 17 // inside the damaged block
+	if _, err := crBad.Get(row); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("Get err = %v, want ErrChecksumMismatch", err)
+	}
+	if err := crBad.Scan(func([]int64) bool { return true }); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("Scan err = %v, want ErrChecksumMismatch", err)
+	}
+	if err := crBad.VerifyBlock(2); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("VerifyBlock err = %v, want ErrChecksumMismatch", err)
+	}
+	if !errors.Is(crBad.Verify(), zukowski.ErrCorruptColumn) {
+		t.Fatal("checksum mismatch does not match ErrCorruptColumn umbrella")
+	}
+	// Undamaged blocks still read fine.
+	if _, err := crBad.ReadBlock(0, nil); err != nil {
+		t.Fatalf("ReadBlock(0) on column with damage elsewhere: %v", err)
+	}
+
+	// The same flip through the lazy ReaderAt source is also caught.
+	lazy, err := zukowski.OpenColumnReaderAt[int64](bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lazy.Get(row); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("lazy Get err = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+// TestZKC2DirectoryBitFlip: a flipped bit in the directory footer is
+// caught by the directory checksum at open time.
+func TestZKC2DirectoryBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	src := genValues[uint16](rng, 2000)
+	data := buildColumnV2[uint16](t, nil, 256, src)
+
+	// The directory sits between the last frame and the 24-byte tail.
+	// Flip one bit in a zone-map byte of the first entry.
+	cr, err := zukowski.OpenColumn[uint16](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirStart := len(data) - 24 - cr.NumBlocks()*40
+	bad := bytes.Clone(data)
+	bad[dirStart+24] ^= 0x80
+	if _, err := zukowski.OpenColumn[uint16](bad); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("OpenColumn err = %v, want ErrChecksumMismatch", err)
+	}
+	if _, err := zukowski.OpenColumnReaderAt[uint16](bytes.NewReader(bad), int64(len(bad))); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("OpenColumnReaderAt err = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+// --- ScanWhere ---------------------------------------------------------
+
+// TestScanWhereOracle: for random ranges over random data, ScanWhere plus
+// an exact filter selects exactly what filtering a full ReadAll selects.
+func TestScanWhereOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	src := genValues[int64](rng, 10_000)
+	data := buildColumnV2[int64](t, nil, 512, src)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Int63n(130) - 2
+		hi := lo + rng.Int63n(40)
+		var want []int64
+		for _, v := range src {
+			if v >= lo && v <= hi {
+				want = append(want, v)
+			}
+		}
+		var got []int64
+		if err := cr.ScanWhere(lo, hi, func(vals []int64) bool {
+			for _, v := range vals {
+				if v >= lo && v <= hi {
+					got = append(got, v)
+				}
+			}
+			return true
+		}); err != nil {
+			t.Fatalf("ScanWhere(%d,%d): %v", lo, hi, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ScanWhere(%d,%d) selected %d values, oracle %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ScanWhere(%d,%d) value %d: got %d want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScanWherePrunes: on a sorted column a selective range decompresses
+// strictly fewer blocks than a full Scan — the zone-map pruning claim of
+// the acceptance criteria, asserted by counting fn invocations.
+func TestScanWherePrunes(t *testing.T) {
+	src := make([]int64, 20_000)
+	for i := range src {
+		src[i] = int64(i) // sorted: zone maps partition the domain
+	}
+	data := buildColumnV2(t, zukowski.PFORDelta[int64]{}, 1024, src)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullBlocks := 0
+	if err := cr.Scan(func([]int64) bool { fullBlocks++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if fullBlocks != cr.NumBlocks() {
+		t.Fatalf("Scan visited %d of %d blocks", fullBlocks, cr.NumBlocks())
+	}
+
+	prunedBlocks := 0
+	var selected []int64
+	lo, hi := int64(5000), int64(5999)
+	if err := cr.ScanWhere(lo, hi, func(vals []int64) bool {
+		prunedBlocks++
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				selected = append(selected, v)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if prunedBlocks >= fullBlocks {
+		t.Fatalf("ScanWhere decompressed %d blocks, full Scan %d — no pruning", prunedBlocks, fullBlocks)
+	}
+	if len(selected) != 1000 {
+		t.Fatalf("ScanWhere selected %d values, want 1000", len(selected))
+	}
+	if want := cr.CountCandidateBlocks(lo, hi); prunedBlocks != want {
+		t.Fatalf("ScanWhere decompressed %d blocks, CountCandidateBlocks says %d", prunedBlocks, want)
+	}
+	// A range outside the domain touches nothing.
+	if err := cr.ScanWhere(-100, -1, func([]int64) bool {
+		t.Fatal("ScanWhere visited a block for an empty range")
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ZKC1 has no zone maps: same scan visits every block.
+	var bufV1 bytes.Buffer
+	cw, err := zukowski.NewColumnWriter(&bufV1, zukowski.PFORDelta[int64]{}, 1024, zukowski.WithFormatVersion(zukowski.FormatZKC1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crV1, err := zukowski.OpenColumn[int64](bufV1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Blocks := 0
+	if err := crV1.ScanWhere(lo, hi, func([]int64) bool { v1Blocks++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if v1Blocks != crV1.NumBlocks() {
+		t.Fatalf("ZKC1 ScanWhere visited %d of %d blocks", v1Blocks, crV1.NumBlocks())
+	}
+}
+
+// --- ReaderAt source ----------------------------------------------------
+
+// TestColumnReaderAtFile: a ZKC2 column streams from an actual *os.File
+// through OpenColumnReaderAt, including ScanWhere pruning.
+func TestColumnReaderAtFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	src := genValues[uint32](rng, 8000)
+	data := buildColumnV2[uint32](t, nil, 512, src)
+
+	path := filepath.Join(t.TempDir(), "col.zkc2")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := zukowski.OpenColumnReaderAt[uint32](f, fi.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.CompressedBytes() != len(data) {
+		t.Fatalf("CompressedBytes = %d, want %d", cr.CompressedBytes(), len(data))
+	}
+	checkReads(t, cr, src)
+	count := 0
+	if err := cr.ScanWhere(0, 10, func(vals []uint32) bool {
+		for _, v := range vals {
+			if v <= 10 {
+				count++
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, v := range src {
+		if v <= 10 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("file-backed ScanWhere selected %d, oracle %d", count, want)
+	}
+}
+
+// TestColumnReaderAtReverifies: a ReaderAt source re-reads bytes on every
+// fetch, so checksum verification must not be memoized across fetches —
+// corruption that appears after a block was first read (bit rot, a
+// concurrently rewritten file) still surfaces as ErrChecksumMismatch.
+func TestColumnReaderAtReverifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	src := genValues[int64](rng, 3000)
+	data := buildColumnV2[int64](t, nil, 512, src)
+
+	cr, err := zukowski.OpenColumnReaderAt[int64](bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Verify(); err != nil { // every block passes, pre-corruption
+		t.Fatal(err)
+	}
+	var scanned int
+	if err := cr.Scan(func(vals []int64) bool { scanned += len(vals); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if scanned != len(src) {
+		t.Fatalf("scanned %d values", scanned)
+	}
+
+	// Rot a payload byte in the shared backing slice after the fact.
+	info, err := cr.BlockInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[int(info.Offset)+3] ^= 0x20
+	if err := cr.Scan(func([]int64) bool { return true }); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("Scan after rot err = %v, want ErrChecksumMismatch", err)
+	}
+	if err := cr.VerifyBlock(1); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("VerifyBlock after rot err = %v, want ErrChecksumMismatch", err)
+	}
+}
+
+// TestColumnReaderAtTruncated: a ReaderAt whose claimed size exceeds the
+// data reports typed errors, not panics.
+func TestColumnReaderAtTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	src := genValues[int64](rng, 2000)
+	data := buildColumnV2[int64](t, nil, 256, src)
+	for _, cut := range []int{0, 10, len(data) / 2, len(data) - 5} {
+		_, err := zukowski.OpenColumnReaderAt[int64](bytes.NewReader(data[:cut]), int64(len(data)))
+		if err == nil {
+			t.Fatalf("cut %d: open succeeded on truncated source", cut)
+		}
+		if !errors.Is(err, zukowski.ErrCorruptColumn) && !errors.Is(err, zukowski.ErrCorruptSegment) {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+	}
+}
+
+// TestUnsupportedVersion: the writer rejects versions it cannot emit.
+func TestUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := zukowski.NewColumnWriter[int64](&buf, nil, 0, zukowski.WithFormatVersion(3))
+	if !errors.Is(err, zukowski.ErrUnsupportedVersion) {
+		t.Fatalf("err = %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+// TestColumnEmptyV2: an empty ZKC2 container round-trips through both
+// sources.
+func TestColumnEmptyV2(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[int8](&buf, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, open := range []func() (*zukowski.ColumnReader[int8], error){
+		func() (*zukowski.ColumnReader[int8], error) { return zukowski.OpenColumn[int8](buf.Bytes()) },
+		func() (*zukowski.ColumnReader[int8], error) {
+			return zukowski.OpenColumnReaderAt[int8](bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		},
+	} {
+		cr, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Len() != 0 || cr.NumBlocks() != 0 || cr.FormatVersion() != zukowski.FormatZKC2 {
+			t.Fatalf("Len=%d NumBlocks=%d version=%d", cr.Len(), cr.NumBlocks(), cr.FormatVersion())
+		}
+		if err := cr.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cr.ScanWhere(0, 100, func([]int8) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

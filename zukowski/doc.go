@@ -15,7 +15,12 @@
 //     benchmarks enumerate schemes instead of hard-coding them.
 //   - ColumnWriter / ColumnReader: a streaming multi-block column container
 //     with a directory footer, per-block codec dispatch and fine-grained
-//     Get across block boundaries.
+//     Get across block boundaries. The default ZKC2 format adds per-block
+//     CRC32-C checksums, min/max zone maps consulted by ScanWhere to skip
+//     blocks before decompression, and a checksummed directory; ZKC1
+//     containers (and writers via WithFormatVersion) stay fully supported,
+//     and OpenColumnReaderAt streams columns larger than RAM from any
+//     io.ReaderAt.
 //
 // Unlike the internal packages, nothing here panics on bad input: invalid
 // parameters and corrupt or truncated bytes surface as typed errors

@@ -38,6 +38,16 @@ var (
 	// for the requested element type.
 	ErrUnknownCodec = errors.New("zukowski: unknown codec")
 
+	// ErrChecksumMismatch reports a ZKC2 container region (a block payload
+	// or the directory) whose stored CRC32-C disagrees with the bytes.
+	// Checksum failures also match ErrCorruptColumn, which stays the
+	// umbrella for every container-integrity failure.
+	ErrChecksumMismatch = errors.New("zukowski: checksum mismatch")
+
+	// ErrUnsupportedVersion reports a column format version this build
+	// cannot write (readers accept every released version).
+	ErrUnsupportedVersion = errors.New("zukowski: unsupported column format version")
+
 	// ErrClosed reports a write to a closed ColumnWriter.
 	ErrClosed = errors.New("zukowski: column writer is closed")
 )

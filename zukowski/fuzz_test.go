@@ -1,6 +1,7 @@
 package zukowski_test
 
 import (
+	"bytes"
 	"encoding/binary"
 	"testing"
 
@@ -75,6 +76,95 @@ func FuzzRoundTrip(f *testing.F) {
 		codec.Decode(nil, raw)
 		codec.Get(raw, 1)
 		codec.Stats(raw)
+	})
+}
+
+// FuzzColumn drives the column container decode path (both ZKC1 and the
+// checksummed ZKC2) with arbitrary bytes and writer round-trips. Whatever
+// the writer produces must read back exactly through both OpenColumn and
+// OpenColumnReaderAt; arbitrary bytes must be rejected with typed errors
+// or read successfully — never panic.
+func FuzzColumn(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(16))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1), uint8(1))
+	f.Add([]byte("ZKC1............"), uint8(2), uint8(4))
+	f.Add([]byte("ZKC2............"), uint8(3), uint8(4))
+	f.Add([]byte("ZKC2........................ZKE2"), uint8(4), uint8(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8, blockSel uint8) {
+		// Writer round-trip: fuzz bytes as values, fuzzed block size and
+		// format version.
+		src := make([]int64, 0, len(data)/8+1)
+		for chunk := data; len(chunk) > 0; {
+			var tail [8]byte
+			n := copy(tail[:], chunk)
+			src = append(src, int64(binary.LittleEndian.Uint64(tail[:])))
+			chunk = chunk[n:]
+		}
+		version := zukowski.FormatZKC1 + int(sel)%2
+		blockValues := 1 + int(blockSel)*7 // [1, 1786]: past one-value, group, and multi-group shapes
+		var buf bytes.Buffer
+		cw, err := zukowski.NewColumnWriter[int64](&buf, nil, blockValues, zukowski.WithFormatVersion(version))
+		if err != nil {
+			t.Fatalf("NewColumnWriter: %v", err)
+		}
+		if err := cw.Write(src); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := cw.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		for _, open := range []func() (*zukowski.ColumnReader[int64], error){
+			func() (*zukowski.ColumnReader[int64], error) { return zukowski.OpenColumn[int64](buf.Bytes()) },
+			func() (*zukowski.ColumnReader[int64], error) {
+				return zukowski.OpenColumnReaderAt[int64](bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+			},
+		} {
+			cr, err := open()
+			if err != nil {
+				t.Fatalf("open own container (v%d): %v", version, err)
+			}
+			if cr.FormatVersion() != version {
+				t.Fatalf("FormatVersion = %d, want %d", cr.FormatVersion(), version)
+			}
+			out, err := cr.ReadAll(nil)
+			if err != nil {
+				t.Fatalf("ReadAll of own container: %v", err)
+			}
+			if len(out) != len(src) {
+				t.Fatalf("read %d values, want %d", len(out), len(src))
+			}
+			for i := range src {
+				if out[i] != src[i] {
+					t.Fatalf("value %d: got %d want %d", i, out[i], src[i])
+				}
+			}
+			if err := cr.Verify(); err != nil {
+				t.Fatalf("Verify of own container: %v", err)
+			}
+			if len(src) > 0 {
+				i := int(uint(sel) % uint(len(src)))
+				if v, err := cr.Get(i); err != nil || v != src[i] {
+					t.Fatalf("Get(%d) = %d, %v; want %d", i, v, err, src[i])
+				}
+				lo := src[0]
+				if err := cr.ScanWhere(lo, lo, func([]int64) bool { return true }); err != nil {
+					t.Fatalf("ScanWhere: %v", err)
+				}
+			}
+		}
+
+		// Arbitrary bytes: typed error or success, never a panic.
+		if cr, err := zukowski.OpenColumn[int64](data); err == nil {
+			cr.ReadAll(nil)
+			cr.Get(0)
+			cr.Verify()
+			cr.ScanWhere(0, 1<<40, func([]int64) bool { return true })
+		}
+		if cr, err := zukowski.OpenColumnReaderAt[int64](bytes.NewReader(data), int64(len(data))); err == nil {
+			cr.ReadAll(nil)
+			cr.Get(0)
+		}
 	})
 }
 

@@ -1,0 +1,169 @@
+package zukowski
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Zone maps: the ZKC2 directory stores the min and max value of every
+// block, so a selective scan consults 16 bytes of metadata instead of
+// decompressing the block — the classic small-materialized-aggregate
+// trick. Pruning matters most exactly where the paper's superscalar
+// decompression shines: on clustered or sorted columns a range predicate
+// touches a handful of blocks and the decode bandwidth is spent only on
+// those.
+//
+// Values are stored as 64-bit two's-complement bit patterns
+// (sign-extended), so one directory layout serves all eight element
+// types; zoneBits/zoneValue convert losslessly in both directions.
+
+// zoneBits widens v to the 64-bit directory representation.
+func zoneBits[T Integer](v T) uint64 { return uint64(int64(v)) }
+
+// zoneValue narrows a directory bit pattern back to T. Only patterns
+// produced by zoneBits[T] round-trip; the directory checksum guards the
+// stored patterns against corruption.
+func zoneValue[T Integer](bits uint64) T { return T(bits) }
+
+// FormatName returns the container magic string for a format version
+// ("ZKC1", "ZKC2"), or a descriptive placeholder for unknown versions.
+func FormatName(version int) string {
+	switch version {
+	case FormatZKC1:
+		return "ZKC1"
+	case FormatZKC2:
+		return "ZKC2"
+	}
+	return fmt.Sprintf("unknown(%d)", version)
+}
+
+// HasZoneMaps reports whether the container carries per-block min/max
+// statistics (ZKC2 and later).
+func (cr *ColumnReader[T]) HasZoneMaps() bool { return cr.version >= FormatZKC2 }
+
+// ZoneMap returns the min and max value of block b. ok is false when the
+// container predates zone maps (ZKC1) or b is out of range.
+func (cr *ColumnReader[T]) ZoneMap(b int) (min, max T, ok bool) {
+	if !cr.HasZoneMaps() || b < 0 || b >= len(cr.blocks) {
+		return min, max, false
+	}
+	return zoneValue[T](cr.blocks[b].minBits), zoneValue[T](cr.blocks[b].maxBits), true
+}
+
+// ScanWhere scans only the blocks whose zone map intersects the inclusive
+// range [lo, hi], invoking fn with each decoded candidate vector exactly
+// like Scan. Blocks whose min/max provably exclude the range are skipped
+// without being read or decompressed; fn still receives whole blocks and
+// must apply the exact predicate itself (a zone map proves absence, not
+// presence). On a ZKC1 container there are no zone maps and every block
+// is scanned. The vector is reused between calls; fn must copy values it
+// keeps, and returning false stops the scan early.
+func (cr *ColumnReader[T]) ScanWhere(lo, hi T, fn func(vals []T) bool) error {
+	var buf []T
+	for i := range cr.blocks {
+		if cr.blockExcludes(i, lo, hi) {
+			continue
+		}
+		vals, err := cr.readBlockInto(i, buf[:0])
+		if err != nil {
+			return err
+		}
+		buf = vals
+		if !fn(vals) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CountCandidateBlocks returns how many blocks a ScanWhere over [lo, hi]
+// would decompress — the denominator of a zone-map skip rate is
+// NumBlocks. It reads only directory metadata.
+func (cr *ColumnReader[T]) CountCandidateBlocks(lo, hi T) int {
+	n := 0
+	for i := range cr.blocks {
+		if !cr.blockExcludes(i, lo, hi) {
+			n++
+		}
+	}
+	return n
+}
+
+// blockExcludes reports whether block b's zone map proves that no value
+// in [lo, hi] can occur in the block.
+func (cr *ColumnReader[T]) blockExcludes(b int, lo, hi T) bool {
+	bmin, bmax, ok := cr.ZoneMap(b)
+	return ok && (bmax < lo || bmin > hi)
+}
+
+// BlockInfo describes one block of a column container: its extent in the
+// file, its directory statistics, and whether those statistics exist in
+// this format version.
+type BlockInfo[T Integer] struct {
+	Offset int64 // first byte of the frame
+	Length int   // frame size in bytes
+	Count  int   // values in the block
+
+	HasChecksum bool   // ZKC2: CRC32C holds the stored payload checksum
+	CRC32C      uint32 // stored payload CRC32-C (0 for ZKC1)
+
+	HasZoneMap bool // ZKC2: Min and Max hold the block's zone map
+	Min, Max   T
+}
+
+// BlockInfo returns block b's directory entry without touching the
+// block's payload.
+func (cr *ColumnReader[T]) BlockInfo(b int) (BlockInfo[T], error) {
+	if b < 0 || b >= len(cr.blocks) {
+		return BlockInfo[T]{}, fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
+	}
+	blk := cr.blocks[b]
+	info := BlockInfo[T]{
+		Offset: int64(blk.offset),
+		Length: int(blk.length),
+		Count:  int(blk.count),
+	}
+	if cr.version >= FormatZKC2 {
+		info.HasChecksum = true
+		info.CRC32C = blk.crc
+		info.HasZoneMap = true
+		info.Min = zoneValue[T](blk.minBits)
+		info.Max = zoneValue[T](blk.maxBits)
+	}
+	return info, nil
+}
+
+// VerifyBlock checks block b's integrity without decoding its values on
+// ZKC2 (payload CRC32-C); on ZKC1, which stores no checksum, it falls
+// back to a full decode so damage still surfaces as a typed error.
+func (cr *ColumnReader[T]) VerifyBlock(b int) error {
+	if b < 0 || b >= len(cr.blocks) {
+		return fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
+	}
+	if cr.version >= FormatZKC2 {
+		blk := cr.blocks[b]
+		buf, err := cr.src.view(int64(blk.offset), int(blk.length))
+		if err != nil {
+			return err
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
+			return fmt.Errorf("%w: %w over block %d payload (stored %08x, computed %08x)",
+				ErrCorruptColumn, ErrChecksumMismatch, b, blk.crc, got)
+		}
+		cr.verified[b] = true
+		return nil
+	}
+	_, err := cr.readBlockInto(b, nil)
+	return err
+}
+
+// Verify checks every block of the column; the directory checksum was
+// already verified when the reader opened. It returns the first failure.
+func (cr *ColumnReader[T]) Verify() error {
+	for b := range cr.blocks {
+		if err := cr.VerifyBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
