@@ -48,7 +48,13 @@ type Report struct {
 	// same process. The perf gate compares decode bandwidths after
 	// normalizing by it, so a slower or throttled CI runner does not read
 	// as a code regression.
-	MemMBps float64       `json:"mem_mbps"`
+	MemMBps float64 `json:"mem_mbps"`
+	// Workers and NumCPU describe the parallel-scan measurement: Workers
+	// is the -workers flag (0 when the mode is off), NumCPU the runner's
+	// logical CPU count. The gate only compares parallel bandwidths
+	// between runs that used the same worker count.
+	Workers int           `json:"workers,omitempty"`
+	NumCPU  int           `json:"num_cpu,omitempty"`
 	Results []CodecResult `json:"results"`
 }
 
@@ -66,6 +72,12 @@ type CodecResult struct {
 	TotalBlocks     int     `json:"total_blocks,omitempty"`
 	CandidateBlocks int     `json:"candidate_blocks,omitempty"`
 	ZoneMapSkipRate float64 `json:"zone_map_skip_rate"`
+	// ScanMBps is the one-worker ParallelScan bandwidth (the sequential
+	// block loop); ParallelScanMBps the bandwidth at -workers workers;
+	// ParallelSpeedup their quotient. Only measured when -workers > 1.
+	ScanMBps         float64 `json:"scan_mbps,omitempty"`
+	ParallelScanMBps float64 `json:"parallel_scan_mbps,omitempty"`
+	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
 }
 
 var (
@@ -82,6 +94,7 @@ var (
 	tolerance   = flag.Float64("tolerance", 0.20, "allowed fractional regression vs -baseline")
 	minTime     = flag.Duration("mintime", 100*time.Millisecond, "minimum measurement time per timing round")
 	rounds      = flag.Int("rounds", 5, "timing rounds per measurement; the fastest round is reported")
+	workers     = flag.Int("workers", 0, "measure block-parallel scans with this many workers (0: skip)")
 )
 
 // bestOf measures f over -rounds independent rounds and returns the
@@ -202,6 +215,8 @@ func run[T zukowski.Integer]() Report {
 		ElemType:    *elem,
 		NumValues:   len(vals),
 		BlockValues: *blockValues,
+		Workers:     *workers,
+		NumCPU:      runtime.NumCPU(),
 	}
 
 	rep.MemMBps = memBandwidth()
@@ -298,6 +313,22 @@ func benchCodec[T zukowski.Integer](name string, vals []T, lo, hi T) CodecResult
 	})
 	res.DecodeMBps = experiments.MBps(rawBytes, secs)
 
+	if *workers > 1 {
+		scanMBps := func(w int) float64 {
+			secs := bestOf(func() {
+				if err := cr.ParallelScan(w, func(int, []T) bool { return true }); err != nil {
+					log.Fatalf("%s: parallel scan (%d workers): %v", name, w, err)
+				}
+			})
+			return experiments.MBps(rawBytes, secs)
+		}
+		res.ScanMBps = scanMBps(1)
+		res.ParallelScanMBps = scanMBps(*workers)
+		if res.ScanMBps > 0 {
+			res.ParallelSpeedup = res.ParallelScanMBps / res.ScanMBps
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed + 17))
 	idx := make([]int, 4096)
 	for i := range idx {
@@ -319,17 +350,30 @@ func benchCodec[T zukowski.Integer](name string, vals []T, lo, hi T) CodecResult
 }
 
 func printText(w io.Writer, rep Report) {
-	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s, %s)\n\n",
+	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s, %s)\n",
 		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.CreatedAt)
-	fmt.Fprintf(w, "%-12s %10s %12s %12s %10s %10s\n",
+	parallel := rep.Workers > 1
+	if parallel {
+		fmt.Fprintf(w, "parallel scans: %d workers on %d CPUs\n", rep.Workers, rep.NumCPU)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %10s %12s %12s %10s %10s",
 		"codec", "ratio", "enc MB/s", "dec MB/s", "get ns", "zm skip")
+	if parallel {
+		fmt.Fprintf(w, " %12s %8s", "pscan MB/s", "speedup")
+	}
+	fmt.Fprintln(w)
 	for _, r := range rep.Results {
 		if r.Error != "" {
 			fmt.Fprintf(w, "%-12s %s\n", r.Codec, r.Error)
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %10.2f %12.0f %12.0f %10.1f %9.0f%%\n",
+		fmt.Fprintf(w, "%-12s %10.2f %12.0f %12.0f %10.1f %9.0f%%",
 			r.Codec, r.Ratio, r.EncodeMBps, r.DecodeMBps, r.GetNanos, r.ZoneMapSkipRate*100)
+		if parallel {
+			fmt.Fprintf(w, " %12.0f %7.2fx", r.ParallelScanMBps, r.ParallelSpeedup)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
@@ -357,6 +401,29 @@ func gate(rep Report, baselinePath string, tol float64) error {
 		byName[r.Codec] = r
 	}
 	var failures []string
+	// A baseline with parallel measurements demands a comparable run: a
+	// silently skipped comparison would let a parallel-scan regression
+	// merge behind a mismatched -workers flag.
+	baseHasParallel := false
+	for _, b := range base.Results {
+		if b.Error == "" && b.ParallelScanMBps > 0 {
+			baseHasParallel = true
+			break
+		}
+	}
+	if baseHasParallel && rep.Workers != base.Workers {
+		failures = append(failures, fmt.Sprintf(
+			"baseline measured parallel scans with -workers %d but this run used -workers %d; rerun with matching workers",
+			base.Workers, rep.Workers))
+	}
+	if baseHasParallel && rep.Workers == base.Workers && rep.NumCPU < rep.Workers {
+		fmt.Fprintf(os.Stderr, "gate: warning: %d CPUs cannot express %d workers; parallel-scan bandwidths not compared\n",
+			rep.NumCPU, rep.Workers)
+	}
+	if baseHasParallel && base.NumCPU > 0 && base.NumCPU < base.Workers {
+		fmt.Fprintf(os.Stderr, "gate: warning: baseline was measured on %d CPUs with %d workers, understating parallel capacity; regenerate it on a machine with at least %d CPUs to tighten this gate\n",
+			base.NumCPU, base.Workers, base.Workers)
+	}
 	for _, b := range base.Results {
 		if b.Error != "" {
 			continue
@@ -373,6 +440,23 @@ func gate(rep Report, baselinePath string, tol float64) error {
 		if norm := cur.DecodeMBps * scale; norm < b.DecodeMBps*(1-tol) {
 			failures = append(failures, fmt.Sprintf("%s: decode bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
 				b.Codec, cur.DecodeMBps, norm, b.DecodeMBps, tol*100))
+		}
+		// Parallel scan bandwidth is gated with the same memory-bandwidth
+		// normalization; a worker-count mismatch between the runs already
+		// failed the gate above. The calibration cannot see core counts,
+		// so the comparison is skipped (below, with a warning) when this
+		// runner has fewer CPUs than the measurement wants — otherwise a
+		// small machine would read as a regression — and a baseline from a
+		// machine smaller than CI undershoots what CI could catch: gate
+		// strength comes from regenerating the baseline on CI-class
+		// hardware. The speedup ratio itself is never gated.
+		if b.ParallelScanMBps > 0 && rep.Workers == base.Workers && rep.NumCPU >= rep.Workers {
+			if cur.ParallelScanMBps == 0 {
+				failures = append(failures, fmt.Sprintf("%s: baseline has a parallel scan measurement, current run does not", b.Codec))
+			} else if norm := cur.ParallelScanMBps * scale; norm < b.ParallelScanMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf("%s: parallel scan bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, cur.ParallelScanMBps, norm, b.ParallelScanMBps, tol*100))
+			}
 		}
 	}
 	if len(failures) > 0 {

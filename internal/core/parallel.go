@@ -3,7 +3,54 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// ParallelDo runs tasks 0..n-1 across up to workers goroutines. Tasks are
+// claimed dynamically off a shared atomic counter (block-granular work
+// stealing), so uneven task costs still balance across the pool. fn
+// receives the claiming worker's index (0..workers-1) — the hook for
+// per-worker scratch state — and the task index. Returning false stops the
+// pool: no new tasks are claimed, though tasks already running finish.
+// ParallelDo returns once every claimed task has finished.
+//
+// workers <= 1 (or n <= 1) degenerates to a sequential loop on the calling
+// goroutine with worker index 0.
+func ParallelDo(workers, n int, fn func(worker, task int) bool) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			if !fn(0, t) {
+				return
+			}
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				t := int(next.Add(1)) - 1
+				if t >= n {
+					return
+				}
+				if !fn(w, t) {
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
 // DecompressParallel decodes blk into dst using up to workers goroutines,
 // splitting the block on entry-point (group) boundaries. This implements
@@ -30,22 +77,13 @@ func DecompressParallel[T Integer](blk *Block[T], dst []T, workers int) []T {
 	}
 
 	groupsPer := (numGroups + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		gLo := w * groupsPer
-		if gLo >= numGroups {
-			break
-		}
-		gHi := min(gLo+groupsPer, numGroups)
-		lo := gLo * GroupSize
-		hi := min(gHi*GroupSize, blk.N)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var d Decoder[T]
-			d.DecompressRange(blk, dst[lo:hi], lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	numChunks := (numGroups + groupsPer - 1) / groupsPer
+	decs := make([]Decoder[T], workers)
+	ParallelDo(workers, numChunks, func(w, c int) bool {
+		lo := c * groupsPer * GroupSize
+		hi := min((c+1)*groupsPer*GroupSize, blk.N)
+		decs[w].DecompressRange(blk, dst[lo:hi], lo, hi)
+		return true
+	})
 	return dst[:blk.N]
 }

@@ -98,23 +98,36 @@ func Marshal[T core.Integer](blk *core.Block[T]) []byte {
 // Unmarshal parses a segment produced by Marshal. The element type must
 // match the one used at Marshal time (enforced by the element-size byte).
 func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
+	blk := new(core.Block[T])
+	if err := UnmarshalInto(blk, buf); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// UnmarshalInto parses a segment produced by Marshal into blk, reusing
+// blk's section slices whenever their capacity suffices. Recycling one
+// Block across every segment of a column is the zero-allocation steady
+// state of a block-at-a-time scan. blk is overwritten completely; on error
+// its contents are unspecified.
+func UnmarshalInto[T core.Integer](blk *core.Block[T], buf []byte) error {
 	if len(buf) < headerSize {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if buf[0] != magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	scheme := core.Scheme(buf[1])
 	switch scheme {
 	case core.SchemePFOR, core.SchemePFORDelta, core.SchemePDict:
 	default:
-		return nil, ErrBadScheme
+		return ErrBadScheme
 	}
 	elem := elemSize[T]()
 	if int(buf[3]) != elem {
-		return nil, fmt.Errorf("%w: element size %d, decoding as %d", ErrCorrupt, buf[3], elem)
+		return fmt.Errorf("%w: element size %d, decoding as %d", ErrCorrupt, buf[3], elem)
 	}
-	blk := &core.Block[T]{Scheme: scheme, B: uint(buf[2])}
+	blk.Scheme, blk.B = scheme, uint(buf[2])
 	blk.N = int(binary.LittleEndian.Uint32(buf[4:]))
 	blk.Base = fromBits[T](binary.LittleEndian.Uint64(buf[8:]))
 	blk.DeltaBase = fromBits[T](binary.LittleEndian.Uint64(buf[16:]))
@@ -124,26 +137,26 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 	flags := binary.LittleEndian.Uint32(buf[36:])
 
 	if blk.B < 1 || blk.B > 32 || blk.N < 0 || blk.N > core.MaxBlockValues || excCount > blk.N || excCount < 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	// The header fields must be mutually consistent — the decompression
 	// kernels trust them (a corrupted width would make the code section
 	// appear shorter or longer than it is).
 	if codeWords != (blk.N*int(blk.B)+31)/32 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	if blk.DictLen < 0 || (scheme == core.SchemePDict) != (blk.DictLen > 0) {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	// The decoder materializes a dictionary of 1<<B entries so LOOP1 can
 	// index it with bogus gap codes; an unchecked width would let a
 	// 50-byte frame demand a 32GB allocation. Legitimate producers never
 	// exceed MaxDictBits (the analyzer's cap).
 	if scheme == core.SchemePDict && blk.B > core.MaxDictBits {
-		return nil, fmt.Errorf("%w: PDICT width %d exceeds %d bits", ErrCorrupt, blk.B, core.MaxDictBits)
+		return fmt.Errorf("%w: PDICT width %d exceeds %d bits", ErrCorrupt, blk.B, core.MaxDictBits)
 	}
 	if blk.B > uint(elem)*8 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	numGroups := (blk.N + core.GroupSize - 1) / core.GroupSize
 	numTotals := 0
@@ -152,14 +165,14 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 	}
 	size := headerSize + numGroups*4 + blk.DictLen*elem + numTotals*elem + codeWords*4 + excCount*elem
 	if len(buf) < size {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if binary.LittleEndian.Uint32(buf[40:]) != fnv32(buf[headerSize:size]) {
-		return nil, ErrChecksum
+		return ErrChecksum
 	}
 
 	off := headerSize
-	blk.Entries = make([]uint32, numGroups)
+	blk.Entries = sized(blk.Entries, numGroups)
 	prevExc := uint32(0)
 	for g := range blk.Entries {
 		e := binary.LittleEndian.Uint32(buf[off:])
@@ -168,36 +181,52 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 		// the group — the patch-walk kernels trust both invariants.
 		exc := e >> 7
 		if exc < prevExc || int(exc) > excCount {
-			return nil, fmt.Errorf("%w: entry point %d", ErrCorrupt, g)
+			return fmt.Errorf("%w: entry point %d", ErrCorrupt, g)
 		}
 		prevExc = exc
 		if gLen := blk.N - g*core.GroupSize; int(e&0x7F) >= gLen && gLen < core.GroupSize {
-			return nil, fmt.Errorf("%w: entry point %d patch start", ErrCorrupt, g)
+			return fmt.Errorf("%w: entry point %d patch start", ErrCorrupt, g)
 		}
 		blk.Entries[g] = e
 		off += 4
 	}
 	if blk.DictLen > 0 {
 		if blk.DictLen > 1<<blk.B {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
-		blk.Dict = make([]T, 1<<blk.B)
+		// The dictionary stays zero-padded to 1<<B entries so LOOP1 can
+		// index it with any b-bit code; a recycled slice must have its
+		// stale tail cleared to keep that invariant.
+		blk.Dict = sized(blk.Dict, 1<<blk.B)
 		off = getValues(buf, off, blk.Dict[:blk.DictLen])
+		clear(blk.Dict[blk.DictLen:])
+	} else {
+		blk.Dict = blk.Dict[:0]
 	}
+	blk.Totals = sized(blk.Totals, numTotals)
 	if numTotals > 0 {
-		blk.Totals = make([]T, numTotals)
 		off = getValues(buf, off, blk.Totals)
 	}
-	blk.Codes = make([]uint32, codeWords)
+	blk.Codes = sized(blk.Codes, codeWords)
+	codes := buf[off : off+codeWords*4]
 	for i := range blk.Codes {
-		blk.Codes[i] = binary.LittleEndian.Uint32(buf[off:])
-		off += 4
+		blk.Codes[i] = binary.LittleEndian.Uint32(codes[i*4:])
 	}
-	blk.Exc = make([]T, excCount)
+	off += codeWords * 4
+	blk.Exc = sized(blk.Exc, excCount)
 	for k := range blk.Exc {
 		blk.Exc[k] = getValue[T](buf[size-(k+1)*elem:])
 	}
-	return blk, nil
+	return nil
+}
+
+// sized returns s resized to n elements, reusing its backing array when
+// capacity allows and allocating otherwise. Contents are unspecified.
+func sized[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]E, n)
 }
 
 // MarshalRaw serializes an uncompressed value array (SchemeNone storage).

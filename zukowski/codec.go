@@ -131,11 +131,7 @@ func grow[T Integer](dst []T, n int) ([]T, []T) {
 func decodeSegment[T Integer](dst []T, encoded []byte) (out []T, err error) {
 	defer guardSegment(&err)
 	if !segment.IsCompressed(encoded) {
-		vals, err := segment.UnmarshalRaw[T](encoded)
-		if err != nil {
-			return nil, corrupt(err)
-		}
-		return append(dst, vals...), nil
+		return rawAppend[T](dst, encoded)
 	}
 	blk, err := segment.Unmarshal[T](encoded)
 	if err != nil {
@@ -205,6 +201,36 @@ func rawGet[T Integer](encoded []byte, i int) (v T, err error) {
 	default:
 		return T(binary.LittleEndian.Uint64(encoded[off:])), nil
 	}
+}
+
+// rawAppend appends the values of a raw (SchemeNone) segment to dst,
+// decoding straight into the destination — no intermediate slice, so scans
+// over uncoded blocks stay allocation-free once dst has capacity.
+func rawAppend[T Integer](dst []T, encoded []byte) ([]T, error) {
+	n, err := rawHeader[T](encoded)
+	if err != nil {
+		return nil, err
+	}
+	out, tail := grow(dst, n)
+	switch elemSize[T]() {
+	case 1:
+		for i := range tail {
+			tail[i] = T(encoded[8+i])
+		}
+	case 2:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint16(encoded[8+i*2:]))
+		}
+	case 4:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint32(encoded[8+i*4:]))
+		}
+	default:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint64(encoded[8+i*8:]))
+		}
+	}
+	return out, nil
 }
 
 // segmentStats inspects a segment frame.

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/segment"
@@ -365,10 +368,15 @@ func (s *readerAtSource) view(off int64, n int) ([]byte, error) {
 
 // ColumnReader reads a column container. Point lookups locate the
 // enclosing block through the directory and then use the fine-grained
-// entry-point access of the patched schemes; the most recently touched
-// block stays parsed, so clustered lookups avoid re-reading the directory
-// frame. A ColumnReader is not safe for concurrent use; open one per
-// goroutine (they share the underlying bytes or ReaderAt).
+// entry-point access of the patched schemes; a block stays parsed once
+// touched, so clustered lookups avoid re-parsing the frame.
+//
+// A ColumnReader is safe for concurrent use: all per-block state lives in
+// atomic slots whose first parse and first checksum verification are
+// singleflighted, and decode scratch comes from an internal pool. Any mix
+// of Get, Scan, ScanWhere, ParallelScan, ReadBlock and ReadAll may share
+// one reader over one set of bytes or one io.ReaderAt — the multi-core
+// scan path the paper's RAM-bandwidth decompression asks for.
 type ColumnReader[T Integer] struct {
 	src     columnSource
 	version int
@@ -376,20 +384,65 @@ type ColumnReader[T Integer] struct {
 	starts  []int // starts[i] = first row of block i; len = len(blocks)+1
 	total   int
 
-	// verified[i] records that block i's payload already passed its
-	// CRC32-C check, so repeated lookups into one block hash it once.
-	// Only consulted for stable sources: a ReaderAt re-reads bytes on
-	// every view, so every fetch is re-verified.
-	verified []bool
+	// fixedBlock is the writer's uniform block size when every block but
+	// the last holds exactly that many values (true of every container our
+	// writer produces); Get then locates a row's block with one division.
+	// 0 means irregular: fall back to binary search over starts.
+	fixedBlock int
 
-	// Lazy per-block parse cache for Get: blkCache memoizes the block
-	// form of patched frames (fine-grained access needs only the parsed
-	// sections, not the decoded values); valCache memoizes fully decoded
-	// values for frames without entry points (raw and baseline frames).
-	blkCache []*core.Block[T]
-	valCache [][]T
-	dec      core.Decoder[T]
+	// slots holds the per-block concurrent state, indexed like blocks.
+	slots []blockSlot[T]
+
+	// states pools per-worker decode scratch (*decodeState[T]). A scan
+	// holds one state for its whole pass, so steady-state sequential scans
+	// allocate nothing; parallel scans draw one state per in-flight block.
+	states sync.Pool
 }
+
+// blockSlot is one block's share of the reader's concurrent state.
+type blockSlot[T Integer] struct {
+	// parsed memoizes the block's random-access form for Get. Readers load
+	// it lock-free; the first writer singleflights under mu.
+	parsed atomic.Pointer[parsedBlock[T]]
+
+	// verified latches a passed CRC32-C check. Only set for stable
+	// sources: a ReaderAt re-reads bytes on every view, so every fetch is
+	// re-verified.
+	verified atomic.Bool
+
+	// mu serializes the first parse / first verification of this block, so
+	// under contention the work happens exactly once. Contention is
+	// confined to one block's first touch; the steady state is lock-free.
+	mu sync.Mutex
+}
+
+// parsedBlock is the memoized random-access form of one block: the parsed
+// sections of a patched frame (fine-grained access needs only those, not
+// the decoded values), or the fully decoded values of frames without entry
+// points (raw and baseline frames through a ReaderAt).
+type parsedBlock[T Integer] struct {
+	blk  *core.Block[T]
+	vals []T
+}
+
+// decodeState is the per-worker scratch of the decode paths: a Decoder
+// (bit-unpack scratch), a reusable segment parse target, and the vector
+// buffer scans hand to fn. States cycle through the reader's pool, never
+// shared between two goroutines at once.
+type decodeState[T Integer] struct {
+	dec  core.Decoder[T]
+	blk  core.Block[T]
+	vals []T
+}
+
+func (cr *ColumnReader[T]) getState() *decodeState[T] {
+	if st, ok := cr.states.Get().(*decodeState[T]); ok {
+		return st
+	}
+	return new(decodeState[T])
+}
+
+func (cr *ColumnReader[T]) putState(st *decodeState[T]) { cr.states.Put(st) }
 
 // OpenColumn parses a container produced by ColumnWriter, accepting both
 // the ZKC1 and ZKC2 formats. The bytes are retained (not copied); they
@@ -468,14 +521,12 @@ func openColumn[T Integer](src columnSource) (*ColumnReader[T], error) {
 		}
 	}
 	cr := &ColumnReader[T]{
-		src:      src,
-		version:  version,
-		blocks:   make([]columnBlock, numBlocks),
-		starts:   make([]int, numBlocks+1),
-		total:    int(total),
-		verified: make([]bool, numBlocks),
-		blkCache: make([]*core.Block[T], numBlocks),
-		valCache: make([][]T, numBlocks),
+		src:     src,
+		version: version,
+		blocks:  make([]columnBlock, numBlocks),
+		starts:  make([]int, numBlocks+1),
+		total:   int(total),
+		slots:   make([]blockSlot[T], numBlocks),
 	}
 	rows, nextOffset := 0, uint64(columnHeaderSize)
 	for i := range cr.blocks {
@@ -501,6 +552,23 @@ func openColumn[T Integer](src columnSource) (*ColumnReader[T], error) {
 	cr.starts[numBlocks] = rows
 	if rows != cr.total {
 		return nil, fmt.Errorf("%w: directory counts %d values, tail says %d", ErrCorruptColumn, rows, cr.total)
+	}
+	// Detect the writer's uniform block size so Get can locate a row's
+	// block with one division: every block but the last must hold exactly
+	// the header's block size, and the last no more (a crafted directory
+	// violating either falls back to binary search).
+	if bv := int(binary.LittleEndian.Uint32(hdr[8:])); bv > 0 {
+		regular := true
+		for i, blk := range cr.blocks {
+			last := i == numBlocks-1
+			if (!last && int(blk.count) != bv) || (last && int(blk.count) > bv) {
+				regular = false
+				break
+			}
+		}
+		if regular {
+			cr.fixedBlock = bv
+		}
 	}
 	return cr, nil
 }
@@ -529,23 +597,61 @@ func (cr *ColumnReader[T]) Ratio() float64 {
 	return float64(cr.UncompressedBytes()) / float64(cr.src.size())
 }
 
-// frame returns block b's bytes, verifying the ZKC2 payload checksum: on
-// a stable (in-memory) source the check runs once per block; a ReaderAt
-// source re-reads bytes on every view, so every fetch is re-verified.
-func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
+// checkCRC verifies buf against block b's stored payload CRC32-C.
+func checkCRC(buf []byte, want uint32, b int) error {
+	if got := crc32.Checksum(buf, castagnoli); got != want {
+		return fmt.Errorf("%w: %w over block %d payload (stored %08x, computed %08x)",
+			ErrCorruptColumn, ErrChecksumMismatch, b, want, got)
+	}
+	return nil
+}
+
+// view returns block b's bytes without integrity checks.
+func (cr *ColumnReader[T]) view(b int) ([]byte, error) {
 	blk := cr.blocks[b]
-	buf, err := cr.src.view(int64(blk.offset), int(blk.length))
+	return cr.src.view(int64(blk.offset), int(blk.length))
+}
+
+// viewVerified returns block b's bytes after an unconditional ZKC2
+// checksum check (ZKC1 stores none), latching the pass for stable sources.
+// Callers that want the hash to run at most once must consult the latch
+// under the slot mutex themselves — frame does; VerifyBlock deliberately
+// re-hashes.
+func (cr *ColumnReader[T]) viewVerified(b int) ([]byte, error) {
+	buf, err := cr.view(b)
 	if err != nil {
 		return nil, err
 	}
-	if cr.version >= FormatZKC2 && !(cr.src.stable() && cr.verified[b]) {
-		if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
-			return nil, fmt.Errorf("%w: %w over block %d payload (stored %08x, computed %08x)",
-				ErrCorruptColumn, ErrChecksumMismatch, b, blk.crc, got)
+	if cr.version >= FormatZKC2 {
+		if err := checkCRC(buf, cr.blocks[b].crc, b); err != nil {
+			return nil, err
 		}
-		cr.verified[b] = true
+		if cr.src.stable() {
+			cr.slots[b].verified.Store(true)
+		}
 	}
 	return buf, nil
+}
+
+// frame returns block b's bytes, verifying the ZKC2 payload checksum: on a
+// stable (in-memory) source the first verification is singleflighted under
+// the block's mutex and latched, so the block is hashed exactly once no
+// matter how many goroutines race to first touch; a ReaderAt source
+// re-reads bytes on every view, so every fetch is re-verified.
+func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
+	if cr.version < FormatZKC2 || !cr.src.stable() {
+		return cr.viewVerified(b)
+	}
+	slot := &cr.slots[b]
+	if slot.verified.Load() {
+		return cr.view(b)
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.verified.Load() {
+		return cr.view(b)
+	}
+	return cr.viewVerified(b)
 }
 
 // decodeColumnFrame decodes one frame regardless of which codec wrote it,
@@ -573,24 +679,52 @@ func decodeColumnFrame[T Integer](dst []T, frame []byte) ([]T, error) {
 	return nil, corrupt(fmt.Errorf("unknown frame magic 0x%02x", frame[0]))
 }
 
-// readBlockInto fetches and decodes block b, appending its values to dst.
-func (cr *ColumnReader[T]) readBlockInto(b int, dst []T) ([]T, error) {
+// decodeInto decodes frame, appending its values to dst. Patched frames
+// reuse st's segment parse target and decoder scratch, so a scan that
+// recycles one state decodes block after block without allocating (once
+// dst and the scratch have grown to block size).
+func (st *decodeState[T]) decodeInto(dst []T, frame []byte) (out []T, err error) {
+	defer guardSegment(&err)
+	if len(frame) == 0 {
+		return nil, corrupt(segment.ErrTooShort)
+	}
+	if frame[0] == segment.Magic {
+		if !segment.IsCompressed(frame) {
+			return rawAppend[T](dst, frame)
+		}
+		if err := segment.UnmarshalInto(&st.blk, frame); err != nil {
+			return nil, corrupt(err)
+		}
+		out, tail := grow(dst, st.blk.N)
+		st.dec.Decompress(&st.blk, tail)
+		return out, nil
+	}
+	return decodeColumnFrame[T](dst, frame)
+}
+
+// readBlockInto fetches and decodes block b with st's scratch, appending
+// its values to dst.
+func (cr *ColumnReader[T]) readBlockInto(st *decodeState[T], b int, dst []T) ([]T, error) {
 	frame, err := cr.frame(b)
 	if err != nil {
 		return nil, err
 	}
-	out, err := decodeColumnFrame(dst, frame)
+	out, err := st.decodeInto(dst, frame)
 	if err != nil {
 		return nil, fmt.Errorf("block %d: %w", b, err)
 	}
 	return out, nil
 }
 
-// ReadAll appends every value of the column to dst.
+// ReadAll appends every value of the column to dst, pre-sized from the
+// directory's total count so the block loop never regrows it.
 func (cr *ColumnReader[T]) ReadAll(dst []T) ([]T, error) {
+	dst = slices.Grow(dst, cr.total)
+	st := cr.getState()
+	defer cr.putState(st)
 	var err error
 	for i := range cr.blocks {
-		if dst, err = cr.readBlockInto(i, dst); err != nil {
+		if dst, err = cr.readBlockInto(st, i, dst); err != nil {
 			return nil, err
 		}
 	}
@@ -604,85 +738,142 @@ func (cr *ColumnReader[T]) ReadBlock(b int, dst []T) ([]T, error) {
 	if b < 0 || b >= len(cr.blocks) {
 		return nil, fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
 	}
-	return cr.readBlockInto(b, dst)
+	st := cr.getState()
+	defer cr.putState(st)
+	return cr.readBlockInto(st, b, dst)
 }
 
 // Scan decodes the column block by block, invoking fn with each decoded
-// vector. The slice is reused between calls; fn must copy values it keeps.
-// Scanning stops early when fn returns false.
+// vector. The vector is reused between calls; fn must copy values it
+// keeps. Scanning stops early when fn returns false.
+//
+// The scan holds one pooled decode state for its whole pass, so a warmed
+// sequential scan performs no heap allocation; concurrent scans on one
+// shared reader each draw their own state.
 func (cr *ColumnReader[T]) Scan(fn func(vals []T) bool) error {
-	var buf []T
+	return cr.scanBlocks(nil, func(_ int, vals []T) bool { return fn(vals) })
+}
+
+// scanBlocks is the sequential scan loop over the blocks selected by match
+// (nil selects every block); it is also the degenerate one-worker case of
+// the parallel scans, which is why fn receives the block index.
+func (cr *ColumnReader[T]) scanBlocks(match func(b int) bool, fn func(b int, vals []T) bool) error {
+	st := cr.getState()
+	defer cr.putState(st)
 	for i := range cr.blocks {
-		vals, err := cr.readBlockInto(i, buf[:0])
+		if match != nil && !match(i) {
+			continue
+		}
+		vals, err := cr.readBlockInto(st, i, st.vals[:0])
 		if err != nil {
 			return err
 		}
-		buf = vals
-		if !fn(vals) {
+		st.vals = vals
+		if !fn(i, vals) {
 			return nil
 		}
 	}
 	return nil
 }
 
+// blockOf returns the block containing row i (i must be in range). Columns
+// with a uniform block size — every container our writer produces —
+// resolve with one division; irregular directories fall back to binary
+// search for the last block starting at or before i.
+func (cr *ColumnReader[T]) blockOf(i int) int {
+	if cr.fixedBlock > 0 {
+		return i / cr.fixedBlock
+	}
+	return sort.SearchInts(cr.starts, i+1) - 1
+}
+
 // Get returns the value at row i. For patched frames it uses the
 // entry-point fine-grained access path (at most one 128-value group is
-// touched); raw frames are read in place; baseline frames are decoded
-// whole and cached.
+// touched); raw frames on an in-memory source are read in place; baseline
+// frames are decoded whole and memoized.
 func (cr *ColumnReader[T]) Get(i int) (v T, err error) {
 	defer guardSegment(&err)
 	if i < 0 || i >= cr.total {
 		return v, fmt.Errorf("%w: %d not in [0,%d)", ErrIndexOutOfRange, i, cr.total)
 	}
-	// Find the enclosing block: the last block starting at or before i.
-	b := sort.SearchInts(cr.starts, i+1) - 1
+	b := cr.blockOf(i)
 	off := i - cr.starts[b]
-	if cr.blkCache[b] == nil && cr.valCache[b] == nil {
-		frame, ferr := cr.frame(b)
-		if ferr != nil {
-			return v, ferr
+	p := cr.slots[b].parsed.Load()
+	if p == nil {
+		if cr.src.stable() {
+			// On an in-memory source, raw frames are read in place: one
+			// header check and a direct load, no decode and nothing
+			// cached. Through a ReaderAt that shortcut would re-fetch the
+			// whole block from the source on every lookup, so those fall
+			// through to the decode-and-memoize path like any other frame.
+			frame, ferr := cr.frame(b)
+			if ferr != nil {
+				return v, ferr
+			}
+			if len(frame) > 0 && frame[0] == segment.Magic && !segment.IsCompressed(frame) {
+				return rawGet[T](frame, off)
+			}
 		}
-		// On an in-memory source, raw frames are read in place: one
-		// header check and a direct load, no decode and nothing cached.
-		// Through a ReaderAt that shortcut would re-fetch the whole
-		// block from the source on every lookup, so those fall through
-		// to the decode-and-memoize path like any other frame.
-		if cr.src.stable() && len(frame) > 0 && frame[0] == segment.Magic && !segment.IsCompressed(frame) {
-			return rawGet[T](frame, off)
-		}
-		if err := cr.parseBlock(b, frame); err != nil {
+		if p, err = cr.parseBlock(b); err != nil {
 			return v, err
 		}
 	}
-	if blk := cr.blkCache[b]; blk != nil {
-		return cr.dec.Get(blk, off), nil
+	if p.blk != nil {
+		st := cr.getState()
+		v = st.dec.Get(p.blk, off)
+		cr.putState(st)
+		return v, nil
 	}
-	return cr.valCache[b][off], nil
+	return p.vals[off], nil
 }
 
-// parseBlock memoizes block b in the reader's cache. Parsed blocks stay
-// resident for the life of the reader, so a random-access workload pays
-// the frame parse once per block, not once per lookup.
-func (cr *ColumnReader[T]) parseBlock(b int, frame []byte) error {
+// parseBlock memoizes block b's random-access form in its slot, parsing
+// (and CRC-verifying) exactly once under contention: the first caller does
+// the work under the slot mutex while latecomers wait, and every later
+// call is a single atomic load. Parsed blocks stay resident for the life
+// of the reader, so a random-access workload pays the frame parse once per
+// block, not once per lookup.
+func (cr *ColumnReader[T]) parseBlock(b int) (*parsedBlock[T], error) {
+	slot := &cr.slots[b]
+	if p := slot.parsed.Load(); p != nil {
+		return p, nil
+	}
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if p := slot.parsed.Load(); p != nil {
+		return p, nil
+	}
+	var frame []byte
+	var err error
+	if cr.src.stable() && slot.verified.Load() {
+		frame, err = cr.view(b)
+	} else {
+		frame, err = cr.viewVerified(b)
+	}
+	if err != nil {
+		return nil, err
+	}
 	want := int(cr.blocks[b].count)
+	p := &parsedBlock[T]{}
 	if len(frame) > 0 && frame[0] == segment.Magic && segment.IsCompressed(frame) {
-		blk, err := segment.Unmarshal[T](frame)
+		pb, err := segment.Unmarshal[T](frame)
 		if err != nil {
-			return corrupt(err)
+			return nil, corrupt(err)
 		}
-		if blk.N != want {
-			return fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, blk.N, want)
+		if pb.N != want {
+			return nil, fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, pb.N, want)
 		}
-		cr.blkCache[b] = blk
+		p.blk = pb
 	} else {
 		vals, err := decodeColumnFrame[T](nil, frame)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(vals) != want {
-			return fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, len(vals), want)
+			return nil, fmt.Errorf("%w: block %d holds %d values, directory says %d", ErrCorruptColumn, b, len(vals), want)
 		}
-		cr.valCache[b] = vals
+		p.vals = vals
 	}
-	return nil
+	slot.parsed.Store(p)
+	return p, nil
 }

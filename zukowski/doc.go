@@ -20,7 +20,10 @@
 //     blocks before decompression, and a checksummed directory; ZKC1
 //     containers (and writers via WithFormatVersion) stay fully supported,
 //     and OpenColumnReaderAt streams columns larger than RAM from any
-//     io.ReaderAt.
+//     io.ReaderAt. A ColumnReader is safe for concurrent use — goroutines
+//     share one reader's block cache and checksum state — and
+//     ParallelScan / ParallelScanWhere decode blocks across a worker pool
+//     to scale scan bandwidth with cores.
 //
 // Unlike the internal packages, nothing here panics on bad input: invalid
 // parameters and corrupt or truncated bytes surface as typed errors

@@ -1,0 +1,474 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// rampValues builds a mostly-increasing column with periodic outliers: the
+// patched schemes compress it well, the zone maps prune range scans on it,
+// and the total is deliberately not a multiple of any block size so the
+// last partial block is always exercised.
+func rampValues(n int) []int64 {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)*4 + rng.Int63n(16)
+		if i%911 == 0 {
+			vals[i] += 1 << 33 // exception
+		}
+	}
+	return vals
+}
+
+// openBoth returns the same container through both sources: the in-memory
+// byte path and the lazily fetched ReaderAt path.
+func openBoth[T zukowski.Integer](t *testing.T, data []byte) map[string]*zukowski.ColumnReader[T] {
+	t.Helper()
+	fromBytes, err := zukowski.OpenColumn[T](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromReaderAt, err := zukowski.OpenColumnReaderAt[T](bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*zukowski.ColumnReader[T]{"bytes": fromBytes, "readerAt": fromReaderAt}
+}
+
+// collectSeq runs a sequential Scan and returns the concatenated values.
+func collectSeq[T zukowski.Integer](t *testing.T, cr *zukowski.ColumnReader[T]) []T {
+	t.Helper()
+	var got []T
+	if err := cr.Scan(func(vals []T) bool {
+		got = append(got, vals...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParallelScanMatchesScan(t *testing.T) {
+	src := rampValues(50_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 4096, src)
+	for name, cr := range openBoth[int64](t, data) {
+		t.Run(name, func(t *testing.T) {
+			want := collectSeq(t, cr)
+
+			for _, workers := range []int{0, 1, 3, 4, 100} {
+				// Ordered delivery must reproduce the sequential sequence
+				// exactly.
+				var ordered []int64
+				lastBlock := -1
+				err := cr.ParallelScan(workers, func(b int, vals []int64) bool {
+					if b <= lastBlock {
+						t.Errorf("workers=%d: block %d delivered after %d", workers, b, lastBlock)
+					}
+					lastBlock = b
+					ordered = append(ordered, vals...)
+					return true
+				}, zukowski.InOrder())
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !equalSlices(ordered, want) {
+					t.Fatalf("workers=%d: ordered ParallelScan diverges from Scan", workers)
+				}
+
+				// Unordered delivery must cover every block exactly once.
+				byBlock := map[int][]int64{}
+				err = cr.ParallelScan(workers, func(b int, vals []int64) bool {
+					if _, dup := byBlock[b]; dup {
+						t.Errorf("workers=%d: block %d delivered twice", workers, b)
+					}
+					byBlock[b] = append([]int64(nil), vals...)
+					return true
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var unordered []int64
+				for b := 0; b < cr.NumBlocks(); b++ {
+					unordered = append(unordered, byBlock[b]...)
+				}
+				if !equalSlices(unordered, want) {
+					t.Fatalf("workers=%d: unordered ParallelScan diverges from Scan", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelScanWhereMatchesSequential(t *testing.T) {
+	src := rampValues(60_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 4096, src)
+	lo, hi := src[len(src)/3], src[len(src)/2]
+
+	// Full-scan oracle: the exact multiset of in-range values.
+	var oracle []int64
+	for _, v := range src {
+		if v >= lo && v <= hi {
+			oracle = append(oracle, v)
+		}
+	}
+
+	for name, cr := range openBoth[int64](t, data) {
+		t.Run(name, func(t *testing.T) {
+			var seq []int64
+			if err := cr.ScanWhere(lo, hi, func(vals []int64) bool {
+				seq = append(seq, vals...)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			var par []int64
+			if err := cr.ParallelScanWhere(lo, hi, 4, func(_ int, vals []int64) bool {
+				par = append(par, vals...)
+				return true
+			}, zukowski.InOrder()); err != nil {
+				t.Fatal(err)
+			}
+			if !equalSlices(par, seq) {
+				t.Fatal("ParallelScanWhere diverges from sequential ScanWhere")
+			}
+
+			// Applying the exact predicate to the delivered vectors must
+			// reproduce the full-scan oracle.
+			var filtered []int64
+			for _, v := range par {
+				if v >= lo && v <= hi {
+					filtered = append(filtered, v)
+				}
+			}
+			if !equalSlices(filtered, oracle) {
+				t.Fatalf("predicate over ParallelScanWhere vectors: %d values, oracle has %d", len(filtered), len(oracle))
+			}
+		})
+	}
+}
+
+func TestParallelScanEarlyStop(t *testing.T) {
+	src := rampValues(50_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 4096, src)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, opts := range [][]zukowski.ScanOption{nil, {zukowski.InOrder()}} {
+			calls := 0
+			err := cr.ParallelScan(workers, func(int, []int64) bool {
+				calls++
+				return false
+			}, opts...)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if calls != 1 {
+				t.Fatalf("workers=%d: fn called %d times after returning false", workers, calls)
+			}
+		}
+	}
+}
+
+func TestParallelScanError(t *testing.T) {
+	src := rampValues(50_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 4096, src)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of a middle block; ZKC2 checksums turn that
+	// into ErrChecksumMismatch at scan time.
+	const bad = 5
+	info, err := cr.BlockInfo(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), data...)
+	corrupted[info.Offset+int64(info.Length)/2] ^= 0x40
+	cc, err := zukowski.OpenColumn[int64](corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ordered: blocks before the corrupt one arrive, then the error —
+	// exactly where the sequential scan would fail.
+	var delivered []int
+	err = cc.ParallelScan(4, func(b int, _ []int64) bool {
+		delivered = append(delivered, b)
+		return true
+	}, zukowski.InOrder())
+	if !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("ordered scan over corrupt block: err = %v", err)
+	}
+	for i, b := range delivered {
+		if b != i || b >= bad {
+			t.Fatalf("ordered scan delivered block %d at position %d around corrupt block %d", b, i, bad)
+		}
+	}
+
+	// Unordered: the error must still surface.
+	if err := cc.ParallelScan(4, func(int, []int64) bool { return true }); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("unordered scan over corrupt block: err = %v", err)
+	}
+}
+
+// TestConcurrentColumnReader hammers one shared reader with a mix of Get,
+// Scan, ScanWhere, ParallelScan, ReadAll and Verify goroutines on both
+// source kinds. Run under -race (CI does, at -cpu=1,4); the assertions
+// double as a correctness check that concurrent use returns the same
+// values as the source slice.
+func TestConcurrentColumnReader(t *testing.T) {
+	src := rampValues(40_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 2048, src)
+	lo, hi := src[len(src)/4], src[3*len(src)/4]
+	for name, cr := range openBoth[int64](t, data) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			fail := make(chan error, 64)
+			report := func(format string, args ...any) {
+				select {
+				case fail <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+
+			// Point lookups, each checked against the source.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for k := 0; k < 2_000; k++ {
+						i := rng.Intn(len(src))
+						v, err := cr.Get(i)
+						if err != nil {
+							report("Get(%d): %v", i, err)
+							return
+						}
+						if v != src[i] {
+							report("Get(%d) = %d, want %d", i, v, src[i])
+							return
+						}
+					}
+				}(int64(g))
+			}
+
+			// Sequential scans.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					row := 0
+					err := cr.Scan(func(vals []int64) bool {
+						for _, v := range vals {
+							if v != src[row] {
+								report("Scan row %d = %d, want %d", row, v, src[row])
+								return false
+							}
+							row++
+						}
+						return true
+					})
+					if err != nil {
+						report("Scan: %v", err)
+					}
+				}()
+			}
+
+			// Zone-map scans applying the exact predicate.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := 0
+				err := cr.ScanWhere(lo, hi, func(vals []int64) bool {
+					for _, v := range vals {
+						if v >= lo && v <= hi {
+							n++
+						}
+					}
+					return true
+				})
+				if err != nil {
+					report("ScanWhere: %v", err)
+				}
+			}()
+
+			// Parallel scans sharing the same slots and state pool.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var sum int64
+					err := cr.ParallelScan(3, func(_ int, vals []int64) bool {
+						for _, v := range vals {
+							sum += v
+						}
+						return true
+					})
+					if err != nil {
+						report("ParallelScan: %v", err)
+					}
+				}()
+			}
+
+			// Bulk reads and integrity checks.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := cr.ReadAll(nil)
+				if err != nil {
+					report("ReadAll: %v", err)
+					return
+				}
+				if !equalSlices(out, src) {
+					report("ReadAll diverges from source")
+				}
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := cr.Verify(); err != nil {
+					report("Verify: %v", err)
+				}
+			}()
+
+			wg.Wait()
+			close(fail)
+			if err := <-fail; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScanSteadyStateAllocs proves the sequential hot path is
+// allocation-free once warm: one pooled decode state serves frame parse,
+// bit-unpack scratch and the delivered vector.
+func TestScanSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; exactness only holds in normal builds")
+	}
+	src := rampValues(100_000)
+	data := buildColumn[int64](t, zukowski.Auto[int64]{}, 4096, src)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink int64
+	scan := func() {
+		if err := cr.Scan(func(vals []int64) bool {
+			sink += vals[0]
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan() // warm the state pool and the verified-checksum latches
+	if avg := testing.AllocsPerRun(20, scan); avg != 0 {
+		t.Fatalf("sequential Scan allocates %.1f times per pass in steady state, want 0", avg)
+	}
+	_ = sink
+}
+
+func equalSlices[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- benchmarks -----------------------------------------------------------
+
+// benchReader builds an in-memory uint32 column of numBlocks compressed
+// blocks and returns a shared reader plus the raw (uncompressed) byte
+// count, the numerator of every scan-bandwidth claim.
+func benchReader(b *testing.B, numBlocks, blockValues int) (*zukowski.ColumnReader[uint32], int64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	n := numBlocks * blockValues
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(i/64) + uint32(rng.Intn(32))
+		if i%1013 == 0 {
+			src[i] += 1 << 27
+		}
+	}
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[uint32](&buf, zukowski.PFOR[uint32]{}, blockValues)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cw.Write(src); err != nil {
+		b.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cr, err := zukowski.OpenColumn[uint32](buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the per-block checksum latches so every measured pass exercises
+	// pure decode, matching the steady state of a resident column.
+	if _, err := cr.ReadAll(nil); err != nil {
+		b.Fatal(err)
+	}
+	return cr, int64(n * 4)
+}
+
+// BenchmarkScan is the sequential baseline; with -benchmem it demonstrates
+// the 0 allocs/op steady state of the pooled decode path.
+func BenchmarkScan(b *testing.B) {
+	cr, rawBytes := benchReader(b, 64, 16384)
+	b.SetBytes(rawBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		if err := cr.Scan(func(vals []uint32) bool {
+			sink += vals[0]
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkParallelScan scans the same 64-block uint32 column with a
+// worker pool; the MB/s column divided by BenchmarkScan's is the scaling
+// headline (near-linear until the core count or memory bandwidth caps it).
+func BenchmarkParallelScan(b *testing.B) {
+	cr, rawBytes := benchReader(b, 64, 16384)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			var sink uint32
+			for i := 0; i < b.N; i++ {
+				if err := cr.ParallelScan(workers, func(_ int, vals []uint32) bool {
+					sink += vals[0]
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = sink
+		})
+	}
+}

@@ -2,7 +2,6 @@ package zukowski
 
 import (
 	"fmt"
-	"hash/crc32"
 )
 
 // Zone maps: the ZKC2 directory stores the min and max value of every
@@ -59,21 +58,12 @@ func (cr *ColumnReader[T]) ZoneMap(b int) (min, max T, ok bool) {
 // is scanned. The vector is reused between calls; fn must copy values it
 // keeps, and returning false stops the scan early.
 func (cr *ColumnReader[T]) ScanWhere(lo, hi T, fn func(vals []T) bool) error {
-	var buf []T
-	for i := range cr.blocks {
-		if cr.blockExcludes(i, lo, hi) {
-			continue
-		}
-		vals, err := cr.readBlockInto(i, buf[:0])
-		if err != nil {
-			return err
-		}
-		buf = vals
-		if !fn(vals) {
-			return nil
-		}
-	}
-	return nil
+	return cr.scanBlocks(cr.zoneMatch(lo, hi), func(_ int, vals []T) bool { return fn(vals) })
+}
+
+// zoneMatch returns the block predicate of a [lo, hi] range scan.
+func (cr *ColumnReader[T]) zoneMatch(lo, hi T) func(b int) bool {
+	return func(b int) bool { return !cr.blockExcludes(b, lo, hi) }
 }
 
 // CountCandidateBlocks returns how many blocks a ScanWhere over [lo, hi]
@@ -141,19 +131,14 @@ func (cr *ColumnReader[T]) VerifyBlock(b int) error {
 		return fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
 	}
 	if cr.version >= FormatZKC2 {
-		blk := cr.blocks[b]
-		buf, err := cr.src.view(int64(blk.offset), int(blk.length))
-		if err != nil {
-			return err
-		}
-		if got := crc32.Checksum(buf, castagnoli); got != blk.crc {
-			return fmt.Errorf("%w: %w over block %d payload (stored %08x, computed %08x)",
-				ErrCorruptColumn, ErrChecksumMismatch, b, blk.crc, got)
-		}
-		cr.verified[b] = true
-		return nil
+		// viewVerified hashes unconditionally: VerifyBlock's contract is to
+		// check the bytes now, not to trust the latch.
+		_, err := cr.viewVerified(b)
+		return err
 	}
-	_, err := cr.readBlockInto(b, nil)
+	st := cr.getState()
+	defer cr.putState(st)
+	_, err := cr.readBlockInto(st, b, nil)
 	return err
 }
 
