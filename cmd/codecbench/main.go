@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
@@ -78,6 +79,31 @@ type CodecResult struct {
 	ScanMBps         float64 `json:"scan_mbps,omitempty"`
 	ParallelScanMBps float64 `json:"parallel_scan_mbps,omitempty"`
 	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
+	// FilteredScans holds the -selectivity sweep: one entry per requested
+	// selectivity point.
+	FilteredScans []FilteredScanResult `json:"filtered_scans,omitempty"`
+}
+
+// FilteredScanResult measures one selectivity point of the filtered-scan
+// sweep: a centered value-range predicate selecting ~Selectivity of the
+// data, evaluated the pre-PR-4 way (ScanWhere: decode every candidate
+// block, re-apply the predicate and materialize matching rows+values in
+// the caller) and the compressed-domain way (ScanSelect / AggregateWhere).
+type FilteredScanResult struct {
+	// Selectivity is the requested fraction; ActualSelectivity the fraction
+	// the chosen [lo, hi] window really selects (duplicates at the window
+	// edges can widen it).
+	Selectivity       float64 `json:"selectivity"`
+	ActualSelectivity float64 `json:"actual_selectivity"`
+	Matched           int     `json:"matched"`
+	// Bandwidths are raw-data MB/s over the whole column per pass.
+	ScanWhereMBps  float64 `json:"scan_where_mbps"`
+	ScanSelectMBps float64 `json:"scan_select_mbps"`
+	AggregateMBps  float64 `json:"aggregate_mbps"`
+	// SelectSpeedup is ScanSelectMBps / ScanWhereMBps.
+	SelectSpeedup float64 `json:"select_speedup"`
+	// MatchedPerSec is matched values per second through ScanSelect.
+	MatchedPerSec float64 `json:"matched_per_sec"`
 }
 
 var (
@@ -95,7 +121,24 @@ var (
 	minTime     = flag.Duration("mintime", 100*time.Millisecond, "minimum measurement time per timing round")
 	rounds      = flag.Int("rounds", 5, "timing rounds per measurement; the fastest round is reported")
 	workers     = flag.Int("workers", 0, "measure block-parallel scans with this many workers (0: skip)")
+	selectivity = flag.String("selectivity", "", "comma-separated selectivity sweep for filtered scans, e.g. 0.001,0.01,0.1,0.5,1 (empty: skip)")
 )
+
+// selectivityPoints parses the -selectivity flag.
+func selectivityPoints() []float64 {
+	if *selectivity == "" {
+		return nil
+	}
+	var pts []float64
+	for _, f := range strings.Split(*selectivity, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 1 {
+			log.Fatalf("bad -selectivity point %q (want fractions in (0,1])", f)
+		}
+		pts = append(pts, v)
+	}
+	return pts
+}
 
 // bestOf measures f over -rounds independent rounds and returns the
 // fastest mean seconds per call. Taking the minimum discards scheduler and
@@ -229,12 +272,16 @@ func run[T zukowski.Integer]() Report {
 	slices.Sort(sorted)
 	lo, hi := sorted[len(sorted)*45/100], sorted[len(sorted)*55/100]
 
+	// Parse the sweep before any timing work, so a malformed flag fails
+	// immediately instead of after the first codec's full benchmark run.
+	points := selectivityPoints()
+
 	names := zukowski.Codecs()
 	if *codecNames != "" {
 		names = strings.Split(*codecNames, ",")
 	}
 	for _, name := range names {
-		rep.Results = append(rep.Results, benchCodec(name, vals, lo, hi))
+		rep.Results = append(rep.Results, benchCodec(name, vals, sorted, lo, hi, points))
 	}
 	return rep
 }
@@ -258,7 +305,7 @@ func memBandwidth() float64 {
 	return experiments.MBps(len(buf)*8, secs)
 }
 
-func benchCodec[T zukowski.Integer](name string, vals []T, lo, hi T) CodecResult {
+func benchCodec[T zukowski.Integer](name string, vals, sorted []T, lo, hi T, points []float64) CodecResult {
 	res := CodecResult{Codec: name}
 	codec, err := zukowski.Lookup[T](name)
 	if err != nil {
@@ -329,6 +376,10 @@ func benchCodec[T zukowski.Integer](name string, vals []T, lo, hi T) CodecResult
 		}
 	}
 
+	for _, s := range points {
+		res.FilteredScans = append(res.FilteredScans, benchFilteredScan(name, cr, sorted, s))
+	}
+
 	rng := rand.New(rand.NewSource(*seed + 17))
 	idx := make([]int, 4096)
 	for i := range idx {
@@ -349,6 +400,107 @@ func benchCodec[T zukowski.Integer](name string, vals []T, lo, hi T) CodecResult
 	return res
 }
 
+// benchFilteredScan measures one selectivity point: a centered window over
+// the sorted values selecting ~s of the data, scanned three ways. The
+// ScanWhere pass is the decode-then-filter consumer ScanSelect replaces —
+// the caller re-applies the predicate to every delivered vector and
+// materializes the matching (row, value) pairs, equivalent output to
+// ScanSelect — so the speedup column is an apples-to-apples read of what
+// compressed-domain selection buys.
+func benchFilteredScan[T zukowski.Integer](name string, cr *zukowski.ColumnReader[T], sorted []T, s float64) FilteredScanResult {
+	n := len(sorted)
+	target := int(s * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	loIdx := (n - target) / 2
+	lo, hi := sorted[loIdx], sorted[loIdx+target-1]
+	fs := FilteredScanResult{Selectivity: s}
+	rawBytes := cr.UncompressedBytes()
+
+	// Global row numbers need each delivered block's first row, which
+	// ScanWhere's vector-only callback cannot convey once zone maps skip
+	// blocks; the one-worker ParallelScanWhere is the same sequential
+	// pruned loop but hands over the block index.
+	starts := make([]int64, cr.NumBlocks()+1)
+	for b := 0; b < cr.NumBlocks(); b++ {
+		info, err := cr.BlockInfo(b)
+		if err != nil {
+			log.Fatalf("%s: BlockInfo(%d): %v", name, b, err)
+		}
+		starts[b+1] = starts[b] + int64(info.Count)
+	}
+	rows := make([]int64, 0, n)
+	matchVals := make([]T, 0, n)
+	secs := bestOf(func() {
+		rows, matchVals = rows[:0], matchVals[:0]
+		if err := cr.ParallelScanWhere(lo, hi, 1, func(b int, v []T) bool {
+			base := starts[b]
+			for j, x := range v {
+				if x >= lo && x <= hi {
+					rows = append(rows, base+int64(j))
+					matchVals = append(matchVals, x)
+				}
+			}
+			return true
+		}); err != nil {
+			log.Fatalf("%s: ScanWhere: %v", name, err)
+		}
+	})
+	fs.ScanWhereMBps = experiments.MBps(rawBytes, secs)
+	whereMatched := len(rows)
+
+	matched := 0
+	secs = bestOf(func() {
+		matched = 0
+		if err := cr.ScanSelect(lo, hi, func(r []int64, _ []T) bool {
+			matched += len(r)
+			return true
+		}); err != nil {
+			log.Fatalf("%s: ScanSelect: %v", name, err)
+		}
+	})
+	fs.ScanSelectMBps = experiments.MBps(rawBytes, secs)
+	fs.Matched = matched
+	fs.ActualSelectivity = float64(matched) / float64(cr.Len())
+	if secs > 0 {
+		fs.MatchedPerSec = float64(matched) / secs
+	}
+	if fs.ScanWhereMBps > 0 {
+		fs.SelectSpeedup = fs.ScanSelectMBps / fs.ScanWhereMBps
+	}
+	if matched != whereMatched {
+		log.Fatalf("%s: ScanSelect matched %d values, decode-then-filter matched %d", name, matched, whereMatched)
+	}
+	// One untimed pass proves the two paths emit identical (row, value)
+	// streams, not just equal counts.
+	i := 0
+	if err := cr.ScanSelect(lo, hi, func(r []int64, v []T) bool {
+		for j := range r {
+			if r[j] != rows[i] || v[j] != matchVals[i] {
+				log.Fatalf("%s: match %d: ScanSelect (%d,%v) != decode-then-filter (%d,%v)",
+					name, i, r[j], v[j], rows[i], matchVals[i])
+			}
+			i++
+		}
+		return true
+	}); err != nil {
+		log.Fatalf("%s: ScanSelect verify pass: %v", name, err)
+	}
+
+	secs = bestOf(func() {
+		agg, err := cr.AggregateWhere(lo, hi)
+		if err != nil {
+			log.Fatalf("%s: AggregateWhere: %v", name, err)
+		}
+		if int(agg.Count) != matched {
+			log.Fatalf("%s: AggregateWhere counted %d values, ScanSelect matched %d", name, agg.Count, matched)
+		}
+	})
+	fs.AggregateMBps = experiments.MBps(rawBytes, secs)
+	return fs
+}
+
 func printText(w io.Writer, rep Report) {
 	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s, %s)\n",
 		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.CreatedAt)
@@ -363,6 +515,7 @@ func printText(w io.Writer, rep Report) {
 		fmt.Fprintf(w, " %12s %8s", "pscan MB/s", "speedup")
 	}
 	fmt.Fprintln(w)
+	filtered := false
 	for _, r := range rep.Results {
 		if r.Error != "" {
 			fmt.Fprintf(w, "%-12s %s\n", r.Codec, r.Error)
@@ -374,6 +527,21 @@ func printText(w io.Writer, rep Report) {
 			fmt.Fprintf(w, " %12.0f %7.2fx", r.ParallelScanMBps, r.ParallelSpeedup)
 		}
 		fmt.Fprintln(w)
+		filtered = filtered || len(r.FilteredScans) > 0
+	}
+	if !filtered {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "filtered scans (selection-vector ScanSelect vs decode-then-filter ScanWhere):")
+	fmt.Fprintf(w, "%-12s %8s %8s %12s %12s %12s %8s %14s\n",
+		"codec", "sel", "actual", "where MB/s", "select MB/s", "agg MB/s", "speedup", "matched/s")
+	for _, r := range rep.Results {
+		for _, fs := range r.FilteredScans {
+			fmt.Fprintf(w, "%-12s %8.3f %8.3f %12.0f %12.0f %12.0f %7.2fx %14.3g\n",
+				r.Codec, fs.Selectivity, fs.ActualSelectivity, fs.ScanWhereMBps,
+				fs.ScanSelectMBps, fs.AggregateMBps, fs.SelectSpeedup, fs.MatchedPerSec)
+		}
 	}
 }
 
@@ -440,6 +608,36 @@ func gate(rep Report, baselinePath string, tol float64) error {
 		if norm := cur.DecodeMBps * scale; norm < b.DecodeMBps*(1-tol) {
 			failures = append(failures, fmt.Sprintf("%s: decode bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
 				b.Codec, cur.DecodeMBps, norm, b.DecodeMBps, tol*100))
+		}
+		// Filtered-scan bandwidth is gated like decode bandwidth (memory-
+		// normalized), point by point: only selectivities measured in both
+		// runs are compared, and a point present in the baseline but
+		// missing from the current run fails — otherwise dropping the
+		// -selectivity flag would silently disarm the gate.
+		for _, bfs := range b.FilteredScans {
+			var cfs *FilteredScanResult
+			for i := range cur.FilteredScans {
+				if cur.FilteredScans[i].Selectivity == bfs.Selectivity {
+					cfs = &cur.FilteredScans[i]
+					break
+				}
+			}
+			if cfs == nil {
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline has a filtered-scan point at selectivity %g, current run does not (rerun with -selectivity)",
+					b.Codec, bfs.Selectivity))
+				continue
+			}
+			if norm := cfs.ScanSelectMBps * scale; norm < bfs.ScanSelectMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@%g: filtered-scan bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bfs.Selectivity, cfs.ScanSelectMBps, norm, bfs.ScanSelectMBps, tol*100))
+			}
+			if norm := cfs.AggregateMBps * scale; norm < bfs.AggregateMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@%g: aggregate bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bfs.Selectivity, cfs.AggregateMBps, norm, bfs.AggregateMBps, tol*100))
+			}
 		}
 		// Parallel scan bandwidth is gated with the same memory-bandwidth
 		// normalization; a worker-count mismatch between the runs already

@@ -246,3 +246,91 @@ func BenchmarkUnpackGenericAblation(b *testing.B) {
 		})
 	}
 }
+
+// selectOracle computes the expected match masks by unpacking with the
+// reference path and filtering.
+func selectOracle(src []uint32, n int, b uint, lo, span uint32) []uint32 {
+	vals := make([]uint32, n)
+	UnpackGeneric(vals, src, b)
+	masks := make([]uint32, (n+31)/32)
+	for i, v := range vals {
+		if v-lo <= span {
+			masks[i/32] |= 1 << (uint(i) % 32)
+		}
+	}
+	return masks
+}
+
+// TestSelectMaskAllWidths cross-checks every generated select kernel
+// against the unpack-then-filter oracle over random codes and ranges,
+// including the empty and all-matching extremes, plus the scalar tail path
+// and per-match CodeAt extraction.
+func TestSelectMaskAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for b := uint(0); b <= 32; b++ {
+		for _, n := range []int{0, 1, 7, 31, 32, 33, 96, 127, 128, 129} {
+			src := randomValues(rng, n, b)
+			packed := make([]uint32, WordCount(n, b))
+			Pack(packed, src, b)
+			mask := maskFor(b)
+			ranges := [][2]uint32{
+				{0, 0},
+				{0, mask},            // everything matches
+				{mask, 0},            // only the top code
+				{1, ^uint32(0) - 1},  // wrap-around span: excludes only code 0
+				{mask / 2, mask / 4}, // middle window
+				{rng.Uint32() & mask, rng.Uint32() & mask},
+			}
+			for _, r := range ranges {
+				lo, span := r[0], r[1]
+				want := selectOracle(packed, n, b, lo, span)
+				groups := n / 32
+				got := make([]uint32, (n+31)/32)
+				SelectMask(got[:groups], packed, b, lo, span)
+				if tail := n % 32; tail > 0 {
+					got[groups] = SelectMaskTail(packed[groups*int(b):], tail, b, lo, span)
+				}
+				for g := range want {
+					if got[g] != want[g] {
+						t.Fatalf("b=%d n=%d lo=%d span=%d: mask[%d] = %08x, want %08x",
+							b, n, lo, span, g, got[g], want[g])
+					}
+				}
+			}
+			if b > 0 {
+				for i, v := range src {
+					if got := CodeAt(packed, i, b); got != v {
+						t.Fatalf("b=%d n=%d: CodeAt(%d) = %d, want %d", b, n, i, got, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPanicContracts pins the package's documented panic surface: the
+// internal kernels trust their callers, and these are the misuses they
+// refuse. The public zukowski layer proves separately (crafted-frame tests)
+// that none of these panics is reachable through its entry points.
+func TestPanicContracts(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("WordCount width", func() { WordCount(1, 33) })
+	expectPanic("Pack width", func() { Pack(make([]uint32, 8), make([]uint32, 4), 33) })
+	expectPanic("Pack dst too small", func() { Pack(make([]uint32, 0), make([]uint32, 4), 8) })
+	expectPanic("Unpack width", func() { Unpack(make([]uint32, 4), make([]uint32, 8), 33) })
+	expectPanic("Unpack src too small", func() { Unpack(make([]uint32, 64), make([]uint32, 1), 8) })
+	expectPanic("PackGeneric width", func() { PackGeneric(make([]uint32, 8), make([]uint32, 4), 33) })
+	expectPanic("UnpackGeneric width", func() { UnpackGeneric(make([]uint32, 4), make([]uint32, 8), 33) })
+	expectPanic("SelectMask width", func() { SelectMask(make([]uint32, 1), make([]uint32, 64), 33, 0, 0) })
+	expectPanic("SelectMask src too small", func() { SelectMask(make([]uint32, 4), make([]uint32, 1), 8, 0, 0) })
+	expectPanic("SelectMaskTail width", func() { SelectMaskTail(make([]uint32, 64), 4, 33, 0, 0) })
+	expectPanic("SelectMaskTail group too long", func() { SelectMaskTail(make([]uint32, 64), 33, 8, 0, 0) })
+}

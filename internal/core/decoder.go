@@ -12,6 +12,9 @@ import (
 // goroutine.
 type Decoder[T Integer] struct {
 	raw []uint32
+	// sel holds the compressed-domain selection scratch (select.go),
+	// allocated on first DecompressWhere/AggregateWhere.
+	sel *selScratch[T]
 }
 
 // Decompress decodes all of blk into dst, which must hold blk.N values.
@@ -155,17 +158,7 @@ func (d *Decoder[T]) Get(blk *Block[T], x int) T {
 // codeAt extracts the b-bit code at position x directly from the packed
 // code section.
 func (d *Decoder[T]) codeAt(blk *Block[T], x int) uint32 {
-	b := blk.B
-	bitPos := x * int(b)
-	word, shift := bitPos/32, uint(bitPos%32)
-	v := blk.Codes[word] >> shift
-	if shift+b > 32 {
-		v |= blk.Codes[word+1] << (32 - shift)
-	}
-	if b >= 32 {
-		return v
-	}
-	return v & (1<<b - 1)
+	return bitpack.CodeAt(blk.Codes, x, blk.B)
 }
 
 func (d *Decoder[T]) scratch(n int) []uint32 {

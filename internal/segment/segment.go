@@ -111,6 +111,22 @@ func Unmarshal[T core.Integer](buf []byte) (*core.Block[T], error) {
 // state of a block-at-a-time scan. blk is overwritten completely; on error
 // its contents are unspecified.
 func UnmarshalInto[T core.Integer](blk *core.Block[T], buf []byte) error {
+	return unmarshalInto(blk, buf, true)
+}
+
+// UnmarshalIntoTrusted is UnmarshalInto without the payload checksum pass.
+// The FNV hash walks the payload byte by byte and dominates the parse cost
+// of large segments, but it is redundant when the caller has already
+// integrity-checked the same bytes — the ZKC2 column reader verifies a
+// hardware CRC32-C over every frame before handing it to the decoder. All
+// structural header validation (scheme, width, section sizes, entry-point
+// invariants) still runs; only the redundant hash is skipped. Callers
+// without an outer integrity check must use UnmarshalInto.
+func UnmarshalIntoTrusted[T core.Integer](blk *core.Block[T], buf []byte) error {
+	return unmarshalInto(blk, buf, false)
+}
+
+func unmarshalInto[T core.Integer](blk *core.Block[T], buf []byte, verify bool) error {
 	if len(buf) < headerSize {
 		return ErrTooShort
 	}
@@ -167,7 +183,7 @@ func UnmarshalInto[T core.Integer](blk *core.Block[T], buf []byte) error {
 	if len(buf) < size {
 		return ErrTooShort
 	}
-	if binary.LittleEndian.Uint32(buf[40:]) != fnv32(buf[headerSize:size]) {
+	if verify && binary.LittleEndian.Uint32(buf[40:]) != fnv32(buf[headerSize:size]) {
 		return ErrChecksum
 	}
 

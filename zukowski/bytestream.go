@@ -1,0 +1,144 @@
+package zukowski
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+)
+
+// Byte-stream baselines: the Figure-2 comparators that operate on opaque
+// byte streams rather than integer arrays — DEFLATE (standing in for
+// zlib), LZW and LZRW1 — adapted to the Codec contract behind a
+// block-framing layer so registry-driven benchmarks, including the
+// filtered-scan sweep, compare the patched schemes against them through
+// one interface. Values are serialized little-endian and compressed as one
+// stream per frame; the frame reuses the baseline header layout with a
+// byte-stream codec id:
+//
+//	[0] frame magic 0xB6   [1] codec id   [2] element size   [3] zero
+//	[4:8] value count (little-endian uint32)   [8:] compressed stream
+//
+// These codecs have no code domain and no entry points: Decode inflates
+// the whole frame, Get decodes and indexes, and the filtered scans fall
+// back to decode-then-filter — exactly the contrast the paper's Figure 2
+// draws against the super-scalar schemes.
+
+const (
+	frameFlate byte = iota + 16 // byte-stream ids leave room below for array codecs
+	frameLZW
+	frameLZRW1
+)
+
+// byteStreamCompressor is the slice of internal/baseline a byte-stream
+// frame needs: compression, and decompression with an output cap so a
+// crafted frame cannot demand an oversized allocation.
+type byteStreamCompressor interface {
+	Compress(dst, src []byte) []byte
+	DecompressLimit(dst, src []byte, max int) ([]byte, error)
+}
+
+// byteStream adapts one byte-stream compressor to Codec[T].
+type byteStream[T Integer] struct {
+	name string
+	id   byte
+	bc   byteStreamCompressor
+}
+
+// Name implements Codec.
+func (c byteStream[T]) Name() string { return c.name }
+
+// Encode implements Codec.
+func (c byteStream[T]) Encode(dst []byte, src []T) ([]byte, error) {
+	if err := checkLen(len(src)); err != nil {
+		return nil, err
+	}
+	elem := elemSize[T]()
+	raw := make([]byte, len(src)*elem)
+	switch elem {
+	case 1:
+		for i, v := range src {
+			raw[i] = byte(v)
+		}
+	case 2:
+		for i, v := range src {
+			binary.LittleEndian.PutUint16(raw[i*2:], uint16(v))
+		}
+	case 4:
+		for i, v := range src {
+			binary.LittleEndian.PutUint32(raw[i*4:], uint32(v))
+		}
+	default:
+		for i, v := range src {
+			binary.LittleEndian.PutUint64(raw[i*8:], uint64(v))
+		}
+	}
+	dst = putBaselineHeader(dst, c.id, elem, 0, len(src))
+	return c.bc.Compress(dst, raw), nil
+}
+
+// Decode implements Codec.
+func (c byteStream[T]) Decode(dst []T, encoded []byte) ([]T, error) {
+	_, n, payload, err := parseBaselineHeader[T](encoded, c.id)
+	if err != nil {
+		return nil, err
+	}
+	elem := elemSize[T]()
+	raw, err := c.bc.DecompressLimit(nil, payload, n*elem)
+	if err != nil {
+		return nil, corrupt(fmt.Errorf("%s stream: %w", c.name, err))
+	}
+	if len(raw) != n*elem {
+		return nil, corrupt(fmt.Errorf("%s stream inflated to %d bytes, header says %d values", c.name, len(raw), n))
+	}
+	dst, tail := grow(dst, n)
+	switch elem {
+	case 1:
+		for i := range tail {
+			tail[i] = T(raw[i])
+		}
+	case 2:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint16(raw[i*2:]))
+		}
+	case 4:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	default:
+		for i := range tail {
+			tail[i] = T(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return dst, nil
+}
+
+// Get implements Codec. Byte-stream frames have no entry points; the whole
+// frame is decoded.
+func (c byteStream[T]) Get(encoded []byte, i int) (T, error) { return decodeAndIndex[T](c, encoded, i) }
+
+// Stats implements Codec.
+func (c byteStream[T]) Stats(encoded []byte) (Stats, error) {
+	_, n, _, err := parseBaselineHeader[T](encoded, c.id)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fillSizes(Stats{
+		Scheme:    strings.ToUpper(c.name),
+		NumValues: n,
+	}, len(encoded), n*elemSize[T]()), nil
+}
+
+// byteStreamCodec returns the adapter for a byte-stream frame id, or nil.
+func byteStreamCodec[T Integer](id byte) Codec[T] {
+	switch id {
+	case frameFlate:
+		return byteStream[T]{"flate", frameFlate, baseline.Flate{}}
+	case frameLZW:
+		return byteStream[T]{"lzw", frameLZW, baseline.LZW{}}
+	case frameLZRW1:
+		return byteStream[T]{"lzrw1", frameLZRW1, baseline.LZRW1{}}
+	}
+	return nil
+}

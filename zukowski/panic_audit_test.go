@@ -1,0 +1,267 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// This file is the bitpack panic audit: internal/bitpack's kernels panic
+// on misuse (width out of range, undersized buffers), and the decompression
+// kernels trust header invariants the segment parser enforces. These tests
+// craft frames that attack each trusted invariant — with checksums fixed up
+// so validation cannot reject them for the wrong reason — and prove that no
+// public zukowski entry point lets a kernel fault escape as a panic:
+// everything surfaces as ErrCorruptSegment or ErrCorruptColumn.
+
+// segFNV mirrors internal/segment's payload checksum (FNV-1a) so crafted
+// frames pass the hash and exercise the deeper validation and recover
+// paths.
+func segFNV(data []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// fixSegmentChecksum recomputes the FNV over a mutated segment frame.
+func fixSegmentChecksum(frame []byte) {
+	binary.LittleEndian.PutUint32(frame[40:], segFNV(frame[44:]))
+}
+
+// mustNotPanic asserts f returns a typed corruption error (or, for probes
+// where damage may decode to garbage, at worst no error) without panicking.
+func mustNotPanic(t *testing.T, name string, f func() error) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panic escaped the public API: %v", name, r)
+		}
+	}()
+	return f()
+}
+
+func wantCorrupt(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: crafted frame accepted", name)
+	}
+	if !errors.Is(err, zukowski.ErrCorruptSegment) && !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("%s: error %v is neither ErrCorruptSegment nor ErrCorruptColumn", name, err)
+	}
+}
+
+// pforFrame builds a valid PFOR frame with an exception in the first slot,
+// the raw material the crafted mutations start from.
+func pforFrame(t *testing.T) []byte {
+	t.Helper()
+	vals := make([]int64, 300)
+	for i := range vals {
+		vals[i] = int64(i % 100)
+	}
+	vals[0] = 1 << 40  // exception at position 0
+	vals[10] = 1 << 41 // and one mid-group
+	frame, err := zukowski.PFOR[int64]{Base: 0, Width: 8}.Encode(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// decodeProbes drives every frame-consuming public entry point.
+func decodeProbes(name string) []struct {
+	probe string
+	run   func(frame []byte) error
+} {
+	codec := zukowski.PFOR[int64]{}
+	return []struct {
+		probe string
+		run   func(frame []byte) error
+	}{
+		{name + "/Decode", func(frame []byte) error { _, err := codec.Decode(nil, frame); return err }},
+		{name + "/Get", func(frame []byte) error { _, err := codec.Get(frame, 5); return err }},
+		{name + "/Stats", func(frame []byte) error { _, err := codec.Stats(frame); return err }},
+	}
+}
+
+// TestCraftedSegmentFrames mutates each trusted header invariant in turn.
+func TestCraftedSegmentFrames(t *testing.T) {
+	base := pforFrame(t)
+
+	mutations := []struct {
+		name   string
+		mutate func(frame []byte)
+	}{
+		{"width-zero", func(f []byte) { f[2] = 0 }},
+		{"width-33", func(f []byte) { f[2] = 33 }},
+		{"width-wider-than-elem", func(f []byte) { f[3] = 1 }}, // elem says int8, width stays 8... then N*elem shrinks sections
+		{"scheme-unknown", func(f []byte) { f[1] = 9 }},
+		{"count-negative", func(f []byte) { binary.LittleEndian.PutUint32(f[4:], 1<<31) }},
+		{"count-over-max", func(f []byte) { binary.LittleEndian.PutUint32(f[4:], 1<<26) }},
+		{"exc-count-over-n", func(f []byte) { binary.LittleEndian.PutUint32(f[28:], 301) }},
+		{"code-words-lie", func(f []byte) { binary.LittleEndian.PutUint32(f[32:], 3) }},
+		{"dict-on-pfor", func(f []byte) { binary.LittleEndian.PutUint32(f[24:], 4) }},
+		{"entry-exc-index-backwards", func(f []byte) {
+			// Entry 1's exception index below entry 0's.
+			binary.LittleEndian.PutUint32(f[44:], 1<<7)
+			binary.LittleEndian.PutUint32(f[48:], 0)
+		}},
+		{"entry-exc-index-over-count", func(f []byte) { binary.LittleEndian.PutUint32(f[48:], 200<<7) }},
+		{"patch-start-past-tail-group", func(f []byte) {
+			// Last group holds 300-256=44 values; a patch start of 100 in a
+			// short group points outside it.
+			binary.LittleEndian.PutUint32(f[44+8:], 100|2<<7)
+		}},
+	}
+	for _, m := range mutations {
+		frame := bytes.Clone(base)
+		m.mutate(frame)
+		fixSegmentChecksum(frame)
+		for _, p := range decodeProbes(m.name) {
+			wantCorrupt(t, p.probe, mustNotPanic(t, p.probe, func() error { return p.run(frame) }))
+		}
+	}
+
+	// Unfixed checksum: plain damage must be caught by the hash.
+	frame := bytes.Clone(base)
+	frame[50] ^= 0xFF
+	for _, p := range decodeProbes("bitflip-no-checksum-fix") {
+		wantCorrupt(t, p.probe, mustNotPanic(t, p.probe, func() error { return p.run(frame) }))
+	}
+
+	// Truncations at every length: typed error, never a panic.
+	for cut := 0; cut < len(base); cut += 7 {
+		for _, p := range decodeProbes("truncation") {
+			if err := mustNotPanic(t, p.probe, func() error { return p.run(base[:cut]) }); err == nil {
+				t.Fatalf("%s: %d-byte truncation accepted", p.probe, cut)
+			}
+		}
+	}
+}
+
+// TestCraftedPatchListEscape corrupts the gap codes the patch walk trusts:
+// the linked exception list then strides far past the block, and the
+// recover backstop must convert the kernel fault into ErrCorruptSegment on
+// every decode and filtered-scan path.
+func TestCraftedPatchListEscape(t *testing.T) {
+	// A one-group block of 100 values with exceptions at 0 and 10: the code
+	// slot of the first exception stores the gap to the second.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i % 100)
+	}
+	vals[0] = 1 << 40
+	vals[10] = 1 << 41
+	frame, err := zukowski.PFOR[int64]{Base: 0, Width: 8}.Encode(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With B=8 the first code is the first byte of the code section
+	// (header 44 + one entry word = offset 48); inflating the gap to 255
+	// makes the patch walk stride to position 256 — far past the 100-value
+	// block.
+	frame[48] = 0xFF
+	fixSegmentChecksum(frame)
+
+	codec := zukowski.PFOR[int64]{}
+	err = mustNotPanic(t, "Decode", func() error { _, err := codec.Decode(nil, frame); return err })
+	wantCorrupt(t, "Decode", err)
+	err = mustNotPanic(t, "Get", func() error { _, err := codec.Get(frame, 0); return err })
+	// Get may resolve position 0 without walking past it; any error must be
+	// typed, but success is acceptable for positions before the damage.
+	if err != nil {
+		wantCorrupt(t, "Get", err)
+	}
+
+	// The same frame inside a ZKC2 container: ScanSelect and AggregateWhere
+	// must surface the fault as a typed error too. The container checksums
+	// are fixed up so the CRC cannot mask the deeper corruption.
+	data := containerWithFrame(t, frame, 100)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mustNotPanic(t, "ScanSelect", func() error {
+		return cr.ScanSelect(0, 1<<50, func([]int64, []int64) bool { return true })
+	})
+	wantCorrupt(t, "ScanSelect", err)
+	err = mustNotPanic(t, "AggregateWhere", func() error {
+		_, err := cr.AggregateWhere(0, 1<<50)
+		return err
+	})
+	wantCorrupt(t, "AggregateWhere", err)
+	err = mustNotPanic(t, "ReadAll", func() error {
+		_, err := cr.ReadAll(nil)
+		return err
+	})
+	wantCorrupt(t, "ReadAll", err)
+	err = mustNotPanic(t, "ParallelScanSelect", func() error {
+		return cr.ParallelScanSelect(0, 1<<50, 2, func(int, []int64, []int64) bool { return true })
+	})
+	wantCorrupt(t, "ParallelScanSelect", err)
+}
+
+// containerWithFrame hand-assembles a one-block ZKC2 container around an
+// arbitrary frame, with both the block CRC and the directory CRC valid —
+// the shape a deliberate attacker (or deep bit rot plus a recomputed
+// checksum) would present.
+func containerWithFrame(t *testing.T, frame []byte, count int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	hdr := make([]byte, 16)
+	copy(hdr, "ZKC2")
+	hdr[4] = 8 // elem size
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(count))
+	buf.Write(hdr)
+	buf.Write(frame)
+
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	dir := make([]byte, 40)
+	binary.LittleEndian.PutUint64(dir[0:], 16) // offset
+	binary.LittleEndian.PutUint32(dir[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(dir[12:], uint32(count))
+	binary.LittleEndian.PutUint32(dir[16:], crc32.Checksum(frame, castagnoli))
+	// zone map spanning everything so nothing is pruned
+	zmin, zmax := int64(-1)<<62, int64(1)<<62
+	binary.LittleEndian.PutUint64(dir[24:], uint64(zmin))
+	binary.LittleEndian.PutUint64(dir[32:], uint64(zmax))
+	buf.Write(dir)
+
+	tail := make([]byte, 24)
+	binary.LittleEndian.PutUint64(tail[0:], uint64(count))
+	binary.LittleEndian.PutUint32(tail[8:], 1)
+	binary.LittleEndian.PutUint32(tail[12:], crc32.Checksum(dir, castagnoli))
+	copy(tail[20:], "ZKE2")
+	buf.Write(tail)
+	return buf.Bytes()
+}
+
+// TestCraftedCountMismatch puts a frame holding fewer values than the
+// directory claims into a checksum-valid container: the filtered scans
+// must refuse with ErrCorruptColumn rather than emit wrong row numbers.
+func TestCraftedCountMismatch(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	frame, err := zukowski.PFOR[int64]{Base: 0, Width: 8}.Encode(nil, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := containerWithFrame(t, frame, 150) // directory lies: 150 values
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mustNotPanic(t, "ScanSelect", func() error {
+		return cr.ScanSelect(0, 1<<40, func([]int64, []int64) bool { return true })
+	})
+	if !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("ScanSelect with lying directory: %v, want ErrCorruptColumn", err)
+	}
+}

@@ -67,6 +67,28 @@ func (cr *ColumnReader[T]) ParallelScanWhere(lo, hi T, workers int, fn func(bloc
 // parallelScan scans the blocks selected by match (nil selects every
 // block) across a worker pool.
 func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn func(block int, vals []T) bool, opts []ScanOption) error {
+	seq := func() error { return cr.scanBlocks(match, fn) }
+	work := func(st *decodeState[T], b int) (func() bool, error) {
+		vals, err := cr.readBlockInto(st, b, st.vals[:0])
+		st.vals = vals
+		if err != nil {
+			return nil, err
+		}
+		return func() bool { return fn(b, vals) }, nil
+	}
+	return cr.parallelBlocks(match, workers, opts, seq, work)
+}
+
+// parallelBlocks is the block-parallel scan engine shared by ParallelScan,
+// ParallelScanWhere and ParallelScanSelect. work decodes one block with a
+// worker-owned state and returns a deliver closure (nil to deliver
+// nothing, e.g. a filtered block without matches); deliveries run
+// serialized under the engine mutex — in rank order when InOrder is set —
+// and a deliver returning false, a work error, or a panic in the delivery
+// stops the scan with sequential-equivalent semantics. seq is the
+// one-worker degenerate case.
+func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, opts []ScanOption,
+	seq func() error, work func(st *decodeState[T], b int) (func() bool, error)) error {
 	var cfg scanConfig
 	for _, opt := range opts {
 		opt(&cfg)
@@ -91,7 +113,7 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 		workers = n
 	}
 	if workers <= 1 {
-		return cr.scanBlocks(match, fn)
+		return seq()
 	}
 	blockAt := func(t int) int {
 		if candidates != nil {
@@ -108,17 +130,17 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 		firstErr error
 		panicked any
 	)
-	// call runs fn, converting a panic into a stop; the panic value is
-	// re-raised on the calling goroutine once the pool has drained, so a
-	// panicking fn behaves like it does under a sequential Scan.
-	call := func(b int, vals []T) (ok bool) {
+	// call runs a delivery, converting a panic into a stop; the panic value
+	// is re-raised on the calling goroutine once the pool has drained, so a
+	// panicking fn behaves like it does under a sequential scan.
+	call := func(deliver func() bool) (ok bool) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicked = r
 				ok = false
 			}
 		}()
-		return fn(b, vals)
+		return deliver()
 	}
 	// Tasks are claimed in rank order, so in ordered mode every rank below
 	// the one a worker holds is either delivered or in flight; waiting for
@@ -129,10 +151,7 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 		states[w] = cr.getState()
 	}
 	core.ParallelDo(workers, n, func(w, t int) bool {
-		st := states[w]
-		b := blockAt(t)
-		vals, err := cr.readBlockInto(st, b, st.vals[:0])
-		st.vals = vals
+		deliver, err := work(states[w], blockAt(t))
 
 		mu.Lock()
 		defer mu.Unlock()
@@ -148,10 +167,12 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 		}
 		if err != nil {
 			firstErr = err
-		}
-		if err != nil || !call(b, vals) {
 			// Returning false makes ParallelDo stop handing out tasks;
 			// workers mid-decode drain through the stopped check above.
+			stopped = true
+			return false
+		}
+		if deliver != nil && !call(deliver) {
 			stopped = true
 			return false
 		}

@@ -57,7 +57,9 @@ func Codecs() []string {
 	return slices.Clone(registryNames)
 }
 
-// registerBuiltins registers every built-in codec for one element type.
+// registerBuiltins registers every built-in codec for one element type:
+// the patched schemes, the array baselines, and the Figure-2 byte-stream
+// baselines behind their block-framing adapter.
 func registerBuiltins[T Integer]() {
 	Register("pfor", func() Codec[T] { return PFOR[T]{} })
 	Register("pfor-delta", func() Codec[T] { return PFORDelta[T]{} })
@@ -67,6 +69,9 @@ func registerBuiltins[T Integer]() {
 	Register("for", func() Codec[T] { return FOR[T]{} })
 	Register("dict", func() Codec[T] { return Dict[T]{} })
 	Register("vbyte", func() Codec[T] { return VByte[T]{} })
+	Register("flate", func() Codec[T] { return byteStreamCodec[T](frameFlate) })
+	Register("lzw", func() Codec[T] { return byteStreamCodec[T](frameLZW) })
+	Register("lzrw1", func() Codec[T] { return byteStreamCodec[T](frameLZRW1) })
 }
 
 func init() {
