@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -54,8 +55,11 @@ type Report struct {
 	// is the -workers flag (0 when the mode is off), NumCPU the runner's
 	// logical CPU count. The gate only compares parallel bandwidths
 	// between runs that used the same worker count.
-	Workers int           `json:"workers,omitempty"`
-	NumCPU  int           `json:"num_cpu,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	NumCPU  int `json:"num_cpu,omitempty"`
+	// Cols is the -cols flag: the column count of the conjunctive
+	// multi-column sweep (0 or 1 when the mode is off).
+	Cols    int           `json:"cols,omitempty"`
 	Results []CodecResult `json:"results"`
 }
 
@@ -82,6 +86,33 @@ type CodecResult struct {
 	// FilteredScans holds the -selectivity sweep: one entry per requested
 	// selectivity point.
 	FilteredScans []FilteredScanResult `json:"filtered_scans,omitempty"`
+	// ConjunctiveScans holds the multi-column -cols sweep: one entry per
+	// requested selectivity point, measured over a ColumnSet of -cols
+	// same-codec columns.
+	ConjunctiveScans []ConjunctiveScanResult `json:"conjunctive_scans,omitempty"`
+}
+
+// ConjunctiveScanResult measures one point of the multi-column sweep: a
+// conjunction of per-column range predicates whose combined selectivity
+// targets ~Selectivity, evaluated the decode-then-filter way (every
+// candidate block of every column decoded, the conjunction re-applied row
+// by row in the caller) and the selection-vector way (ScanWhereAll:
+// bitmap per predicate, AND before materialization).
+type ConjunctiveScanResult struct {
+	Cols int `json:"cols"`
+	// Selectivity is the requested combined fraction; each column gets a
+	// window of selectivity Selectivity^(1/Cols). ActualSelectivity is the
+	// fraction the conjunction really selects.
+	Selectivity       float64 `json:"selectivity"`
+	ActualSelectivity float64 `json:"actual_selectivity"`
+	Matched           int     `json:"matched"`
+	// Bandwidths are raw-data MB/s over all columns per pass.
+	OracleMBps          float64 `json:"oracle_mbps"`
+	ScanAllMBps         float64 `json:"scan_all_mbps"`
+	ParallelScanAllMBps float64 `json:"parallel_scan_all_mbps,omitempty"`
+	AggregateAllMBps    float64 `json:"aggregate_all_mbps"`
+	// Speedup is ScanAllMBps / OracleMBps.
+	Speedup float64 `json:"speedup"`
 }
 
 // FilteredScanResult measures one selectivity point of the filtered-scan
@@ -122,6 +153,7 @@ var (
 	rounds      = flag.Int("rounds", 5, "timing rounds per measurement; the fastest round is reported")
 	workers     = flag.Int("workers", 0, "measure block-parallel scans with this many workers (0: skip)")
 	selectivity = flag.String("selectivity", "", "comma-separated selectivity sweep for filtered scans, e.g. 0.001,0.01,0.1,0.5,1 (empty: skip)")
+	cols        = flag.Int("cols", 1, "measure conjunctive multi-column scans over this many columns at each -selectivity point (<2: skip)")
 )
 
 // selectivityPoints parses the -selectivity flag.
@@ -260,6 +292,7 @@ func run[T zukowski.Integer]() Report {
 		BlockValues: *blockValues,
 		Workers:     *workers,
 		NumCPU:      runtime.NumCPU(),
+		Cols:        *cols,
 	}
 
 	rep.MemMBps = memBandwidth()
@@ -276,14 +309,73 @@ func run[T zukowski.Integer]() Report {
 	// immediately instead of after the first codec's full benchmark run.
 	points := selectivityPoints()
 
+	// The conjunctive sweep needs -cols same-length columns: the loaded
+	// one plus derived siblings (fresh synthetic draws of the same
+	// distribution, or deterministic permutations of a file input).
+	var conjCols [][]T
+	if *cols >= 2 && len(points) > 0 {
+		conjCols = make([][]T, *cols)
+		conjCols[0] = vals
+		for i := 1; i < *cols; i++ {
+			conjCols[i] = deriveColumn(vals, i)
+		}
+	}
+
 	names := zukowski.Codecs()
 	if *codecNames != "" {
 		names = strings.Split(*codecNames, ",")
 	}
 	for _, name := range names {
-		rep.Results = append(rep.Results, benchCodec(name, vals, sorted, lo, hi, points))
+		rep.Results = append(rep.Results, benchCodec(name, vals, sorted, lo, hi, points, conjCols))
 	}
 	return rep
+}
+
+// deriveColumn produces sibling column i for the conjunctive sweep.
+// Synthetic sources draw a fresh column of the same distribution from a
+// per-column seed; file inputs are scrambled by a fixed-stride
+// permutation (same multiset of values, so compression characteristics
+// match, but rows decorrelate and the conjunction genuinely narrows).
+func deriveColumn[T zukowski.Integer](base []T, i int) []T {
+	if *input == "" {
+		rng := rand.New(rand.NewSource(*seed + int64(1000*i)))
+		var canonical []int64
+		switch *synth {
+		case "pfor":
+			canonical = experiments.SynthPFOR(rng, len(base), 10, 0.02)
+		case "dict":
+			canonical, _ = experiments.SynthDict(rng, len(base), 8, 0.01)
+		case "sorted":
+			canonical = experiments.SynthSorted(rng, len(base), 3)
+		}
+		vals := make([]T, len(canonical))
+		for j, v := range canonical {
+			vals[j] = T(v)
+		}
+		return vals
+	}
+	n := len(base)
+	out := make([]T, n)
+	stride := n/3*2 + 1
+	for gcd(stride, n) != 1 { // coprime stride => the walk is a permutation
+		stride++
+	}
+	idx := (i * 7919) % n
+	for j := range out {
+		out[j] = base[idx]
+		idx += stride
+		if idx >= n {
+			idx -= n
+		}
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // memBandwidth measures sequential memory-read bandwidth over a buffer
@@ -305,7 +397,7 @@ func memBandwidth() float64 {
 	return experiments.MBps(len(buf)*8, secs)
 }
 
-func benchCodec[T zukowski.Integer](name string, vals, sorted []T, lo, hi T, points []float64) CodecResult {
+func benchCodec[T zukowski.Integer](name string, vals, sorted []T, lo, hi T, points []float64, conjCols [][]T) CodecResult {
 	res := CodecResult{Codec: name}
 	codec, err := zukowski.Lookup[T](name)
 	if err != nil {
@@ -378,6 +470,16 @@ func benchCodec[T zukowski.Integer](name string, vals, sorted []T, lo, hi T, poi
 
 	for _, s := range points {
 		res.FilteredScans = append(res.FilteredScans, benchFilteredScan(name, cr, sorted, s))
+	}
+
+	if len(conjCols) >= 2 {
+		if set, sortedCols, err := buildColumnSet(codec, conjCols); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: conjunctive sweep skipped: %v\n", name, err)
+		} else {
+			for _, s := range points {
+				res.ConjunctiveScans = append(res.ConjunctiveScans, benchConjunctive(name, set, sortedCols, s))
+			}
+		}
 	}
 
 	rng := rand.New(rand.NewSource(*seed + 17))
@@ -501,6 +603,193 @@ func benchFilteredScan[T zukowski.Integer](name string, cr *zukowski.ColumnReade
 	return fs
 }
 
+// buildColumnSet encodes every column of the conjunctive sweep with one
+// codec and groups the readers, returning each column's sorted values for
+// predicate-window selection.
+func buildColumnSet[T zukowski.Integer](codec zukowski.Codec[T], conjCols [][]T) (*zukowski.ColumnSet[T], [][]T, error) {
+	readers := make([]*zukowski.ColumnReader[T], len(conjCols))
+	sortedCols := make([][]T, len(conjCols))
+	for i, vals := range conjCols {
+		var buf bytes.Buffer
+		cw, err := zukowski.NewColumnWriter(&buf, codec, *blockValues)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cw.Write(vals); err != nil {
+			return nil, nil, err
+		}
+		if err := cw.Close(); err != nil {
+			return nil, nil, err
+		}
+		if readers[i], err = zukowski.OpenColumn[T](buf.Bytes()); err != nil {
+			return nil, nil, err
+		}
+		sortedCols[i] = slices.Clone(vals)
+		slices.Sort(sortedCols[i])
+	}
+	set, err := zukowski.NewColumnSet(readers...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, sortedCols, nil
+}
+
+// benchConjunctive measures one combined-selectivity point of the
+// multi-column sweep. Each column gets a centered window of selectivity
+// s^(1/cols) over its own value distribution, so on decorrelated columns
+// the conjunction selects ~s of the rows. The oracle pass is the
+// decode-then-filter plan ScanWhereAll replaces: every candidate block of
+// every column decoded in lockstep (zone maps prune for both plans), the
+// conjunction re-applied per row in the caller, matching rows and all
+// column values materialized — identical output to ScanWhereAll.
+func benchConjunctive[T zukowski.Integer](name string, set *zukowski.ColumnSet[T], sortedCols [][]T, s float64) ConjunctiveScanResult {
+	numCols := set.Columns()
+	res := ConjunctiveScanResult{Cols: numCols, Selectivity: s}
+	n := set.Len()
+	perCol := math.Pow(s, 1/float64(numCols))
+	preds := make([]zukowski.Pred[T], numCols)
+	for c := 0; c < numCols; c++ {
+		sorted := sortedCols[c]
+		target := int(perCol * float64(n))
+		if target < 1 {
+			target = 1
+		}
+		loIdx := (n - target) / 2
+		preds[c] = zukowski.Pred[T]{Col: c, Lo: sorted[loIdx], Hi: sorted[loIdx+target-1]}
+	}
+	rawBytes := 0
+	for c := 0; c < numCols; c++ {
+		rawBytes += set.Column(c).UncompressedBytes()
+	}
+
+	// Candidate blocks under zone-map pruning, shared by both plans.
+	var candidates []int
+	starts := make([]int64, set.NumBlocks()+1)
+	for b := 0; b < set.NumBlocks(); b++ {
+		keep := true
+		for _, p := range preds {
+			info, err := set.Column(p.Col).BlockInfo(b)
+			if err != nil {
+				log.Fatalf("%s: BlockInfo(%d): %v", name, b, err)
+			}
+			if info.HasZoneMap && (info.Max < p.Lo || info.Min > p.Hi) {
+				keep = false
+				break
+			}
+		}
+		info, err := set.Column(0).BlockInfo(b)
+		if err != nil {
+			log.Fatalf("%s: BlockInfo(%d): %v", name, b, err)
+		}
+		starts[b+1] = starts[b] + int64(info.Count)
+		if keep {
+			candidates = append(candidates, b)
+		}
+	}
+
+	// Decode-then-filter oracle.
+	bufs := make([][]T, numCols)
+	rows := make([]int64, 0, n)
+	outs := make([][]T, numCols)
+	for c := range outs {
+		outs[c] = make([]T, 0, n)
+	}
+	secs := bestOf(func() {
+		rows = rows[:0]
+		for c := range outs {
+			outs[c] = outs[c][:0]
+		}
+		for _, b := range candidates {
+			for c := 0; c < numCols; c++ {
+				var err error
+				if bufs[c], err = set.Column(c).ReadBlock(b, bufs[c][:0]); err != nil {
+					log.Fatalf("%s: ReadBlock(%d): %v", name, b, err)
+				}
+			}
+			base := starts[b]
+			for j := range bufs[0] {
+				ok := true
+				for _, p := range preds {
+					if v := bufs[p.Col][j]; v < p.Lo || v > p.Hi {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				rows = append(rows, base+int64(j))
+				for c := 0; c < numCols; c++ {
+					outs[c] = append(outs[c], bufs[c][j])
+				}
+			}
+		}
+	})
+	res.OracleMBps = experiments.MBps(rawBytes, secs)
+	oracleMatched := len(rows)
+
+	matched := 0
+	secs = bestOf(func() {
+		matched = 0
+		if err := set.ScanWhereAll(preds, func(r []int64, _ [][]T) bool {
+			matched += len(r)
+			return true
+		}); err != nil {
+			log.Fatalf("%s: ScanWhereAll: %v", name, err)
+		}
+	})
+	res.ScanAllMBps = experiments.MBps(rawBytes, secs)
+	res.Matched = matched
+	res.ActualSelectivity = float64(matched) / float64(n)
+	if res.OracleMBps > 0 {
+		res.Speedup = res.ScanAllMBps / res.OracleMBps
+	}
+	if matched != oracleMatched {
+		log.Fatalf("%s: ScanWhereAll matched %d rows, decode-then-filter matched %d", name, matched, oracleMatched)
+	}
+	// One untimed pass proves the two plans emit identical rows and values
+	// for every column, not just equal counts.
+	i := 0
+	if err := set.ScanWhereAll(preds, func(r []int64, colVals [][]T) bool {
+		for j := range r {
+			if r[j] != rows[i] {
+				log.Fatalf("%s: match %d: ScanWhereAll row %d != oracle row %d", name, i, r[j], rows[i])
+			}
+			for c := 0; c < numCols; c++ {
+				if colVals[c][j] != outs[c][i] {
+					log.Fatalf("%s: match %d col %d: ScanWhereAll %v != oracle %v",
+						name, i, c, colVals[c][j], outs[c][i])
+				}
+			}
+			i++
+		}
+		return true
+	}); err != nil {
+		log.Fatalf("%s: ScanWhereAll verify pass: %v", name, err)
+	}
+
+	if *workers > 1 {
+		secs = bestOf(func() {
+			if err := set.ParallelScanWhereAll(preds, *workers, func(int, []int64, [][]T) bool { return true }); err != nil {
+				log.Fatalf("%s: ParallelScanWhereAll: %v", name, err)
+			}
+		})
+		res.ParallelScanAllMBps = experiments.MBps(rawBytes, secs)
+	}
+
+	secs = bestOf(func() {
+		agg, err := set.AggregateWhereAll(preds, 0)
+		if err != nil {
+			log.Fatalf("%s: AggregateWhereAll: %v", name, err)
+		}
+		if int(agg.Count) != matched {
+			log.Fatalf("%s: AggregateWhereAll counted %d rows, ScanWhereAll matched %d", name, agg.Count, matched)
+		}
+	})
+	res.AggregateAllMBps = experiments.MBps(rawBytes, secs)
+	return res
+}
+
 func printText(w io.Writer, rep Report) {
 	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s, %s)\n",
 		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.CreatedAt)
@@ -541,6 +830,24 @@ func printText(w io.Writer, rep Report) {
 			fmt.Fprintf(w, "%-12s %8.3f %8.3f %12.0f %12.0f %12.0f %7.2fx %14.3g\n",
 				r.Codec, fs.Selectivity, fs.ActualSelectivity, fs.ScanWhereMBps,
 				fs.ScanSelectMBps, fs.AggregateMBps, fs.SelectSpeedup, fs.MatchedPerSec)
+		}
+	}
+	conjunctive := false
+	for _, r := range rep.Results {
+		conjunctive = conjunctive || len(r.ConjunctiveScans) > 0
+	}
+	if !conjunctive {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "conjunctive scans (%d-column ScanWhereAll vs decode-then-filter oracle):\n", rep.Cols)
+	fmt.Fprintf(w, "%-12s %4s %8s %8s %12s %12s %12s %12s %8s\n",
+		"codec", "cols", "sel", "actual", "oracle MB/s", "all MB/s", "pall MB/s", "agg MB/s", "speedup")
+	for _, r := range rep.Results {
+		for _, cj := range r.ConjunctiveScans {
+			fmt.Fprintf(w, "%-12s %4d %8.3f %8.3f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
+				r.Codec, cj.Cols, cj.Selectivity, cj.ActualSelectivity, cj.OracleMBps,
+				cj.ScanAllMBps, cj.ParallelScanAllMBps, cj.AggregateAllMBps, cj.Speedup)
 		}
 	}
 }
@@ -637,6 +944,46 @@ func gate(rep Report, baselinePath string, tol float64) error {
 				failures = append(failures, fmt.Sprintf(
 					"%s@%g: aggregate bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
 					b.Codec, bfs.Selectivity, cfs.AggregateMBps, norm, bfs.AggregateMBps, tol*100))
+			}
+		}
+		// Conjunctive-scan bandwidth is gated like the filtered-scan points:
+		// memory-normalized, matched on (cols, selectivity), and a baseline
+		// point missing from the current run fails — dropping -cols or
+		// -selectivity must not silently disarm the gate.
+		for _, bcs := range b.ConjunctiveScans {
+			var ccs *ConjunctiveScanResult
+			for i := range cur.ConjunctiveScans {
+				if cur.ConjunctiveScans[i].Selectivity == bcs.Selectivity && cur.ConjunctiveScans[i].Cols == bcs.Cols {
+					ccs = &cur.ConjunctiveScans[i]
+					break
+				}
+			}
+			if ccs == nil {
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline has a %d-column conjunctive point at selectivity %g, current run does not (rerun with -cols and -selectivity)",
+					b.Codec, bcs.Cols, bcs.Selectivity))
+				continue
+			}
+			if norm := ccs.ScanAllMBps * scale; norm < bcs.ScanAllMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@%dx%g: conjunctive-scan bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bcs.Cols, bcs.Selectivity, ccs.ScanAllMBps, norm, bcs.ScanAllMBps, tol*100))
+			}
+			if norm := ccs.AggregateAllMBps * scale; norm < bcs.AggregateAllMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@%dx%g: conjunctive-aggregate bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bcs.Cols, bcs.Selectivity, ccs.AggregateAllMBps, norm, bcs.AggregateAllMBps, tol*100))
+			}
+			if bcs.ParallelScanAllMBps > 0 && rep.Workers == base.Workers && rep.NumCPU >= rep.Workers {
+				if ccs.ParallelScanAllMBps == 0 {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%dx%g: baseline has a parallel conjunctive measurement, current run does not",
+						b.Codec, bcs.Cols, bcs.Selectivity))
+				} else if norm := ccs.ParallelScanAllMBps * scale; norm < bcs.ParallelScanAllMBps*(1-tol) {
+					failures = append(failures, fmt.Sprintf(
+						"%s@%dx%g: parallel conjunctive bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+						b.Codec, bcs.Cols, bcs.Selectivity, ccs.ParallelScanAllMBps, norm, bcs.ParallelScanAllMBps, tol*100))
+				}
 			}
 		}
 		// Parallel scan bandwidth is gated with the same memory-bandwidth

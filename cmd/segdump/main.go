@@ -5,6 +5,12 @@
 // — on ZKC2 — per-block checksum status and min/max zone maps. Useful when
 // debugging storage files.
 //
+// segdump is also a CI/ops corruption probe: it exits non-zero whenever
+// the input fails validation — an unreadable container or segment, or any
+// block whose checksum (ZKC2) or decode (ZKC1) fails — so a cron job or
+// pipeline step can gate on its exit code alone. Pass -verify to skip the
+// per-block table and print only the verification summary.
+//
 // With no arguments it generates a demo segment and dumps it; pass a file
 // path to dump a segment or column from disk, with -t choosing the
 // element type.
@@ -22,6 +28,7 @@ import (
 
 func main() {
 	elem := flag.String("t", "int64", "element type: int8|int16|int32|int64|uint8|uint16|uint32|uint64")
+	verifyOnly := flag.Bool("verify", false, "verify integrity only: print a one-line summary instead of the block table, still exiting non-zero on any corrupt block")
 	flag.Parse()
 
 	var buf []byte
@@ -49,26 +56,34 @@ func main() {
 		*elem = "int64"
 	}
 
-	switch *elem {
-	case "int8":
-		dump[int8](buf)
-	case "int16":
-		dump[int16](buf)
-	case "int32":
-		dump[int32](buf)
-	case "int64":
-		dump[int64](buf)
-	case "uint8":
-		dump[uint8](buf)
-	case "uint16":
-		dump[uint16](buf)
-	case "uint32":
-		dump[uint32](buf)
-	case "uint64":
-		dump[uint64](buf)
-	default:
-		log.Fatalf("unknown element type %q", *elem)
+	if err := run(*elem, *verifyOnly, buf); err != nil {
+		fmt.Fprintf(os.Stderr, "segdump: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// run dumps one segment or container; a non-nil error (unreadable input
+// or any corrupt block) makes the process exit non-zero.
+func run(elem string, verifyOnly bool, buf []byte) error {
+	switch elem {
+	case "int8":
+		return dump[int8](buf, verifyOnly)
+	case "int16":
+		return dump[int16](buf, verifyOnly)
+	case "int32":
+		return dump[int32](buf, verifyOnly)
+	case "int64":
+		return dump[int64](buf, verifyOnly)
+	case "uint8":
+		return dump[uint8](buf, verifyOnly)
+	case "uint16":
+		return dump[uint16](buf, verifyOnly)
+	case "uint32":
+		return dump[uint32](buf, verifyOnly)
+	case "uint64":
+		return dump[uint64](buf, verifyOnly)
+	}
+	return fmt.Errorf("unknown element type %q", elem)
 }
 
 // isColumn sniffs the container magic ("ZKC?") without committing to a
@@ -77,46 +92,54 @@ func isColumn(buf []byte) bool {
 	return len(buf) >= 4 && buf[0] == 'Z' && buf[1] == 'K' && buf[2] == 'C'
 }
 
-func dump[T zukowski.Integer](buf []byte) {
+func dump[T zukowski.Integer](buf []byte, verifyOnly bool) error {
 	if isColumn(buf) {
-		dumpColumn[T](buf)
-		return
+		return dumpColumn[T](buf, verifyOnly)
 	}
-	dumpSegment[T](buf)
+	return dumpSegment[T](buf, verifyOnly)
 }
 
 // dumpColumn prints a column container: format version, totals, and the
 // block directory with checksum status and zone maps where the format
-// carries them.
-func dumpColumn[T zukowski.Integer](buf []byte) {
+// carries them. Every block is verified either way; the first failure is
+// returned (after the full table has printed, so the damaged blocks are
+// all visible).
+func dumpColumn[T zukowski.Integer](buf []byte, verifyOnly bool) error {
 	cr, err := zukowski.OpenColumn[T](buf)
 	if err != nil {
-		log.Fatalf("not a valid column container: %v", err)
+		return fmt.Errorf("not a valid column container: %w", err)
 	}
-	fmt.Printf("format:        %s (version %d)\n", zukowski.FormatName(cr.FormatVersion()), cr.FormatVersion())
-	fmt.Printf("values:        %d in %d blocks\n", cr.Len(), cr.NumBlocks())
-	fmt.Printf("sizes:         container %d B, raw %d B, ratio %.2fx\n",
-		cr.CompressedBytes(), cr.UncompressedBytes(), cr.Ratio())
-	if cr.HasZoneMaps() {
-		fmt.Printf("integrity:     per-block CRC32-C + directory checksum (verified on open)\n")
-	} else {
-		fmt.Printf("integrity:     none stored (%s predates checksums; status below is a decode check)\n",
-			zukowski.FormatName(cr.FormatVersion()))
+	if !verifyOnly {
+		fmt.Printf("format:        %s (version %d)\n", zukowski.FormatName(cr.FormatVersion()), cr.FormatVersion())
+		fmt.Printf("values:        %d in %d blocks\n", cr.Len(), cr.NumBlocks())
+		fmt.Printf("sizes:         container %d B, raw %d B, ratio %.2fx\n",
+			cr.CompressedBytes(), cr.UncompressedBytes(), cr.Ratio())
+		if cr.HasZoneMaps() {
+			fmt.Printf("integrity:     per-block CRC32-C + directory checksum (verified on open)\n")
+		} else {
+			fmt.Printf("integrity:     none stored (%s predates checksums; status below is a decode check)\n",
+				zukowski.FormatName(cr.FormatVersion()))
+		}
+		fmt.Println()
+		fmt.Printf("%-6s %10s %9s %8s %-9s %s\n", "block", "offset", "bytes", "values", "checksum", "zone map")
 	}
-	fmt.Println()
-	fmt.Printf("%-6s %10s %9s %8s %-9s %s\n", "block", "offset", "bytes", "values", "checksum", "zone map")
 	var firstErr error
+	failed := 0
 	for b := 0; b < cr.NumBlocks(); b++ {
 		info, err := cr.BlockInfo(b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		status := "ok"
 		if err := cr.VerifyBlock(b); err != nil {
 			status = "FAIL"
+			failed++
 			if firstErr == nil {
 				firstErr = err
 			}
+		}
+		if verifyOnly {
+			continue
 		}
 		checksum := status
 		if info.HasChecksum {
@@ -132,16 +155,20 @@ func dumpColumn[T zukowski.Integer](buf []byte) {
 		fmt.Printf("%-6d %10d %9d %8d %-9s %s\n", b, info.Offset, info.Length, info.Count, checksum, zone)
 	}
 	if firstErr != nil {
-		fmt.Printf("\nVERIFY FAILED: %v\n", firstErr)
-		os.Exit(1)
+		return fmt.Errorf("%d of %d blocks corrupt: %w", failed, cr.NumBlocks(), firstErr)
 	}
-	fmt.Printf("\nall %d blocks verified\n", cr.NumBlocks())
+	fmt.Printf("all %d blocks verified\n", cr.NumBlocks())
+	return nil
 }
 
-func dumpSegment[T zukowski.Integer](buf []byte) {
+func dumpSegment[T zukowski.Integer](buf []byte, verifyOnly bool) error {
 	st, err := zukowski.Inspect[T](buf)
 	if err != nil {
-		log.Fatalf("not a valid segment: %v", err)
+		return fmt.Errorf("not a valid segment: %w", err)
+	}
+	if verifyOnly {
+		fmt.Printf("segment verified: %s, %d values, %d B\n", st.Scheme, st.NumValues, st.EncodedBytes)
+		return nil
 	}
 	fmt.Printf("scheme:        %s\n", st.Scheme)
 	fmt.Printf("bit width:     %d\n", st.BitWidth)
@@ -154,4 +181,5 @@ func dumpSegment[T zukowski.Integer](buf []byte) {
 		st.EncodedBytes, st.UncompressedBytes, st.Ratio)
 	fmt.Printf("groups w/ exc: %d of %d (max %d exceptions in one group)\n",
 		st.GroupsWithExceptions, st.Groups, st.MaxGroupExceptions)
+	return nil
 }

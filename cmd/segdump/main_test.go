@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// buildContainer writes a small PFOR column and returns its bytes.
+func buildContainer(t *testing.T) []byte {
+	t.Helper()
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = int64(i % 750)
+	}
+	var buf bytes.Buffer
+	cw, err := zukowski.NewColumnWriter[int64](&buf, zukowski.PFOR[int64]{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunExitContract pins the probe contract main's exit code is built
+// on: run returns nil for intact inputs and an error — never a silent
+// success — for any corrupt block, in both the table and -verify modes.
+func TestRunExitContract(t *testing.T) {
+	good := buildContainer(t)
+	for _, verifyOnly := range []bool{false, true} {
+		if err := run("int64", verifyOnly, good); err != nil {
+			t.Fatalf("verify=%v: clean container reported %v", verifyOnly, err)
+		}
+	}
+
+	// A payload bit flip must surface as an error from every mode.
+	bad := bytes.Clone(good)
+	bad[len(bad)/3] ^= 0x40
+	for _, verifyOnly := range []bool{false, true} {
+		if err := run("int64", verifyOnly, bad); err == nil {
+			t.Fatalf("verify=%v: corrupt block went unreported (exit code would be 0)", verifyOnly)
+		}
+	}
+
+	// A truncated container must fail, not dump garbage.
+	if err := run("int64", false, good[:len(good)-5]); err == nil {
+		t.Fatal("truncated container went unreported")
+	}
+
+	// Same contract for a bare segment frame.
+	seg, err := zukowski.PFOR[int64]{Base: 0, Width: 10}.Encode(nil, []int64{1, 2, 3, 1 << 40, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("int64", true, seg); err != nil {
+		t.Fatalf("clean segment reported %v", err)
+	}
+	segBad := bytes.Clone(seg)
+	segBad[len(segBad)-2] ^= 0x01
+	if err := run("int64", false, segBad); err == nil {
+		t.Fatal("corrupt segment went unreported")
+	}
+
+	if err := run("float64", false, good); err == nil {
+		t.Fatal("unknown element type went unreported")
+	}
+}

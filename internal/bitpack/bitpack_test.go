@@ -308,6 +308,60 @@ func TestSelectMaskAllWidths(t *testing.T) {
 	}
 }
 
+// TestRefineMaskAllWidths cross-checks every generated refine kernel: the
+// result must equal the incoming mask AND the fresh SelectMask of the same
+// range, for random incoming masks plus the all-set, all-clear and
+// alternating extremes (all-clear pins the zero-group skip path).
+func TestRefineMaskAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for b := uint(0); b <= 32; b++ {
+		for _, n := range []int{0, 1, 31, 32, 33, 127, 128, 129} {
+			src := randomValues(rng, n, b)
+			packed := make([]uint32, WordCount(n, b))
+			Pack(packed, src, b)
+			mask := maskFor(b)
+			ranges := [][2]uint32{
+				{0, 0},
+				{0, mask},
+				{mask, 0},
+				{mask / 2, mask / 4},
+				{rng.Uint32() & mask, rng.Uint32() & mask},
+			}
+			words := (n + 31) / 32
+			groups := n / 32
+			fresh := make([]uint32, words)
+			prior := make([]uint32, words)
+			got := make([]uint32, words)
+			for _, r := range ranges {
+				lo, span := r[0], r[1]
+				SelectMask(fresh[:groups], packed, b, lo, span)
+				if tail := n % 32; tail > 0 {
+					fresh[groups] = SelectMaskTail(packed[groups*int(b):], tail, b, lo, span)
+				}
+				for _, fill := range []uint32{0, ^uint32(0), 0xAAAAAAAA, rng.Uint32()} {
+					for i := range prior {
+						prior[i] = fill
+					}
+					if tail := n % 32; tail > 0 {
+						prior[groups] &= 1<<uint(tail) - 1
+					}
+					copy(got, prior)
+					RefineMask(got[:groups], packed, b, lo, span)
+					if tail := n % 32; tail > 0 {
+						got[groups] = RefineMaskTail(packed[groups*int(b):], tail, b, lo, span, got[groups])
+					}
+					for g := range got {
+						if want := prior[g] & fresh[g]; got[g] != want {
+							t.Fatalf("b=%d n=%d lo=%d span=%d fill=%08x: refined[%d] = %08x, want %08x",
+								b, n, lo, span, fill, g, got[g], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPanicContracts pins the package's documented panic surface: the
 // internal kernels trust their callers, and these are the misuses they
 // refuse. The public zukowski layer proves separately (crafted-frame tests)
@@ -333,4 +387,7 @@ func TestPanicContracts(t *testing.T) {
 	expectPanic("SelectMask src too small", func() { SelectMask(make([]uint32, 4), make([]uint32, 1), 8, 0, 0) })
 	expectPanic("SelectMaskTail width", func() { SelectMaskTail(make([]uint32, 64), 4, 33, 0, 0) })
 	expectPanic("SelectMaskTail group too long", func() { SelectMaskTail(make([]uint32, 64), 33, 8, 0, 0) })
+	expectPanic("RefineMask width", func() { RefineMask(make([]uint32, 1), make([]uint32, 64), 33, 0, 0) })
+	expectPanic("RefineMask src too small", func() { RefineMask(make([]uint32, 4), make([]uint32, 1), 8, 0, 0) })
+	expectPanic("RefineMaskTail width", func() { RefineMaskTail(make([]uint32, 64), 4, 33, 0, 0, 1) })
 }

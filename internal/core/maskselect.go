@@ -1,0 +1,356 @@
+package core
+
+// Selection-vector composition: the compressed-domain predicate machinery
+// of select.go re-targeted at an explicit SelectionVector, so predicates
+// over several columns compose before anything is materialized. A
+// conjunctive scan runs DecompressMask for its most selective predicate,
+// RefineMask for each further predicate (same-column or — via the shared
+// block geometry — a different column's block), and only once the bitmap
+// is final does DecompressSelected touch the surviving rows. RefineMask is
+// where the composition pays: groups whose running mask is already empty
+// are skipped before a single code is extracted, so each predicate's cost
+// shrinks with the selectivity of the ones before it.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitpack"
+)
+
+// DecompressMask evaluates the inclusive range [lo, hi] over blk and fills
+// sv with the block-level match bitmap: bit i set iff value i lies in the
+// range. No value is materialized — PFOR and contiguous PDICT predicates
+// run entirely in the packed code domain, non-contiguous PDICT tests codes
+// against a per-block bitmap, PFOR-DELTA falls back to a fused per-group
+// decode+compare — and exception slots are judged on their true values.
+// An inverted range (lo > hi) selects nothing.
+func (d *Decoder[T]) DecompressMask(blk *Block[T], lo, hi T, sv *SelectionVector) {
+	sv.size(blk.N)
+	if blk.N == 0 {
+		return
+	}
+	if lo > hi {
+		clear(sv.words)
+		return
+	}
+	s := d.selectScratch()
+	switch blk.Scheme {
+	case SchemePFOR:
+		clo, span, ok := pforCodeRange(blk.Base, blk.B, lo, hi)
+		d.blockMasks(blk, clo, span, ok, sv.words)
+		d.maskFixExceptions(blk, lo, hi, sv.words, s)
+	case SchemePDict:
+		clo, span, ok, contiguous := d.pdictCodeMatch(blk, lo, hi, s)
+		if contiguous {
+			d.blockMasks(blk, clo, span, ok, sv.words)
+		} else {
+			d.bitmapMasks(blk, sv.words, s)
+		}
+		d.maskFixExceptions(blk, lo, hi, sv.words, s)
+	case SchemePFORDelta:
+		d.maskPFORDelta(blk, lo, hi, sv.words, s)
+	default:
+		panic("core: cannot select on scheme " + blk.Scheme.String())
+	}
+}
+
+// maskFixExceptions resolves exception slots of a freshly built mask: the
+// bogus patch-list gap codes produced whatever bits the kernels computed,
+// so each exception slot is overwritten with the verdict on its true value.
+func (d *Decoder[T]) maskFixExceptions(blk *Block[T], lo, hi T, mask []uint32, s *selScratch[T]) {
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		es, ee := blk.groupExc(g)
+		if es == ee {
+			continue
+		}
+		all := d.excPositions(blk, g, &s.xpos)
+		for i, pos := range all {
+			if ev := blk.Exc[es+i]; ev >= lo && ev <= hi {
+				mask[pos>>5] |= 1 << (uint(pos) & 31)
+			} else {
+				mask[pos>>5] &^= 1 << (uint(pos) & 31)
+			}
+		}
+	}
+}
+
+// allZero reports whether no bit is set in words.
+func allZero(words []uint32) bool {
+	for _, w := range words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RefineMask intersects sv — a selection over exactly blk.N rows, e.g.
+// another predicate's DecompressMask output or a different column's bitmap
+// under shared block geometry — with the match bitmap of [lo, hi] over
+// blk. Groups whose running mask is already empty are skipped without
+// extracting a code (or, for PFOR-DELTA, without decoding the group), so
+// refinement gets cheaper the more selective the earlier predicates were.
+// An inverted range empties the selection.
+func (d *Decoder[T]) RefineMask(blk *Block[T], lo, hi T, sv *SelectionVector) {
+	if sv.n != blk.N {
+		panic(fmt.Sprintf("core: selection of %d rows refined against block of %d", sv.n, blk.N))
+	}
+	if blk.N == 0 {
+		return
+	}
+	if lo > hi {
+		clear(sv.words)
+		return
+	}
+	s := d.selectScratch()
+	switch blk.Scheme {
+	case SchemePFOR:
+		clo, span, ok := pforCodeRange(blk.Base, blk.B, lo, hi)
+		d.refineCoded(blk, lo, hi, clo, span, ok, true, sv.words, s)
+	case SchemePDict:
+		clo, span, ok, contiguous := d.pdictCodeMatch(blk, lo, hi, s)
+		d.refineCoded(blk, lo, hi, clo, span, ok, contiguous, sv.words, s)
+	case SchemePFORDelta:
+		d.refinePFORDelta(blk, lo, hi, sv.words, s)
+	default:
+		panic("core: cannot select on scheme " + blk.Scheme.String())
+	}
+}
+
+// refineCoded is the PFOR / PDICT refinement walk. Per 128-value group it
+// captures which still-selected exception slots truly match (their codes
+// are bogus patch-list gaps, so the kernels must not judge them), runs the
+// branch-free refine kernels over the packed codes — a contiguous code
+// range uses refmask32, a non-contiguous PDICT predicate the per-code
+// bitmap — and then overwrites the exception slots with the captured
+// verdicts.
+func (d *Decoder[T]) refineCoded(blk *Block[T], lo, hi T, clo, span uint32, codable, contiguous bool, mask []uint32, s *selScratch[T]) {
+	raw := d.scratch(GroupSize)
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		gStart, gEnd := groupBounds(blk, g)
+		n := gEnd - gStart
+		w0 := gStart >> 5
+		w1 := (gEnd + 31) >> 5
+		if allZero(mask[w0:w1]) {
+			continue
+		}
+		es, ee := blk.groupExc(g)
+		var all, keep []int32
+		if es != ee {
+			all = d.excPositions(blk, g, &s.xpos)
+			nk := 0
+			for i, pos := range all {
+				if mask[pos>>5]>>(uint(pos)&31)&1 != 0 {
+					if ev := blk.Exc[es+i]; ev >= lo && ev <= hi {
+						s.epos[nk] = pos
+						nk++
+					}
+				}
+			}
+			keep = s.epos[:nk]
+		}
+		switch {
+		case !codable:
+			clear(mask[w0:w1])
+		case contiguous:
+			full := n / 32
+			b := int(blk.B)
+			bitpack.RefineMask(mask[w0:w0+full], blk.Codes[4*g*b:], blk.B, clo, span)
+			if tail := n % 32; tail > 0 {
+				mask[w0+full] = bitpack.RefineMaskTail(blk.Codes[(4*g+full)*b:], tail, blk.B, clo, span, mask[w0+full])
+			}
+		default:
+			// Non-contiguous PDICT: unpack the group once and test each
+			// still-live word's codes against the per-code bitmap.
+			unpackGroup(blk, g, n, raw)
+			bm := s.bm
+			for i := 0; i < n; i += 32 {
+				w := w0 + i>>5
+				m := mask[w]
+				if m == 0 {
+					continue
+				}
+				var match uint32
+				lim := min(32, n-i)
+				for j := 0; j < lim; j++ {
+					c := raw[i+j]
+					match |= uint32(bm[c>>6]>>(c&63)&1) << j
+				}
+				mask[w] = m & match
+			}
+		}
+		for _, pos := range all {
+			mask[pos>>5] &^= 1 << (uint(pos) & 31)
+		}
+		for _, pos := range keep {
+			mask[pos>>5] |= 1 << (uint(pos) & 31)
+		}
+	}
+}
+
+// maskPFORDelta emits the match bitmap of a PFOR-DELTA block: deltas have
+// no fixed code image of a value range, so each group decodes through its
+// running total and the compare results accumulate into mask words.
+func (d *Decoder[T]) maskPFORDelta(blk *Block[T], lo, hi T, mask []uint32, s *selScratch[T]) {
+	raw := d.scratch(GroupSize)
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		gStart, gEnd := groupBounds(blk, g)
+		n := gEnd - gStart
+		unpackGroup(blk, g, n, raw)
+		decompressPFORDeltaGroup(blk, g, raw, s.vbuf[:n])
+		w0 := gStart >> 5
+		for i := 0; i < n; i += 32 {
+			var m uint32
+			lim := min(32, n-i)
+			for j := 0; j < lim; j++ {
+				v := s.vbuf[i+j]
+				m |= uint32(b2i(v >= lo && v <= hi)) << j
+			}
+			mask[w0+i>>5] = m
+		}
+	}
+}
+
+// refinePFORDelta intersects mask with a PFOR-DELTA predicate, decoding
+// only the groups that still have surviving rows.
+func (d *Decoder[T]) refinePFORDelta(blk *Block[T], lo, hi T, mask []uint32, s *selScratch[T]) {
+	raw := d.scratch(GroupSize)
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		gStart, gEnd := groupBounds(blk, g)
+		n := gEnd - gStart
+		w0 := gStart >> 5
+		w1 := (gEnd + 31) >> 5
+		if allZero(mask[w0:w1]) {
+			continue
+		}
+		unpackGroup(blk, g, n, raw)
+		decompressPFORDeltaGroup(blk, g, raw, s.vbuf[:n])
+		for i := 0; i < n; i += 32 {
+			w := w0 + i>>5
+			m := mask[w]
+			if m == 0 {
+				continue
+			}
+			var match uint32
+			lim := min(32, n-i)
+			for j := 0; j < lim; j++ {
+				v := s.vbuf[i+j]
+				match |= uint32(b2i(v >= lo && v <= hi)) << j
+			}
+			mask[w] = m & match
+		}
+	}
+}
+
+// DecompressSelected appends the values of blk at the rows selected by sv
+// to vals, in row order, and returns the extended slice — the
+// materialization step after a multi-predicate bitmap has been composed.
+// Only groups with surviving rows are touched: PFOR and PDICT extract one
+// code per selected row (exception slots read their true values from the
+// exception section), PFOR-DELTA decodes just the groups that still
+// matter. sv must cover exactly blk.N rows.
+func (d *Decoder[T]) DecompressSelected(blk *Block[T], sv *SelectionVector, vals []T) []T {
+	if sv.n != blk.N {
+		panic(fmt.Sprintf("core: selection of %d rows gathered from block of %d", sv.n, blk.N))
+	}
+	count := sv.Count()
+	if count == 0 {
+		return vals
+	}
+	k := len(vals)
+	vals = growTo(vals, k+count)
+	s := d.selectScratch()
+	mask := sv.words
+	delta := blk.Scheme == SchemePFORDelta
+	pdict := blk.Scheme == SchemePDict
+	if !delta && !pdict && blk.Scheme != SchemePFOR {
+		panic("core: cannot select on scheme " + blk.Scheme.String())
+	}
+	raw := d.scratch(GroupSize)
+	base := blk.Base
+	dict := blk.Dict
+	b := blk.B
+	codes := blk.Codes
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		gStart, gEnd := groupBounds(blk, g)
+		w0 := gStart >> 5
+		w1 := (gEnd + 31) >> 5
+		if allZero(mask[w0:w1]) {
+			continue
+		}
+		if delta {
+			n := gEnd - gStart
+			unpackGroup(blk, g, n, raw)
+			decompressPFORDeltaGroup(blk, g, raw, s.vbuf[:n])
+			for w := w0; w < w1; w++ {
+				vb := w << 5
+				for m := mask[w]; m != 0; m &= m - 1 {
+					p := vb + bits.TrailingZeros32(m)
+					vals[k] = s.vbuf[p-gStart]
+					k++
+				}
+			}
+			continue
+		}
+		es, ee := blk.groupExc(g)
+		if es == ee {
+			for w := w0; w < w1; w++ {
+				vb := w << 5
+				for m := mask[w]; m != 0; m &= m - 1 {
+					p := vb + bits.TrailingZeros32(m)
+					c := bitpack.CodeAt(codes, p, b)
+					if pdict {
+						vals[k] = dict[c]
+					} else {
+						vals[k] = base + T(c)
+					}
+					k++
+				}
+			}
+			continue
+		}
+		// Exception slots hold bogus gap codes; a selected exception row
+		// reads its true value from the exception section. The merge walks
+		// the group's (ordered) exception positions alongside the ordered
+		// set bits.
+		all := d.excPositions(blk, g, &s.xpos)
+		xi := 0
+		for w := w0; w < w1; w++ {
+			vb := w << 5
+			for m := mask[w]; m != 0; m &= m - 1 {
+				p := vb + bits.TrailingZeros32(m)
+				for xi < len(all) && int(all[xi]) < p {
+					xi++
+				}
+				if xi < len(all) && int(all[xi]) == p {
+					vals[k] = blk.Exc[es+xi]
+				} else {
+					c := bitpack.CodeAt(codes, p, b)
+					if pdict {
+						vals[k] = dict[c]
+					} else {
+						vals[k] = base + T(c)
+					}
+				}
+				k++
+			}
+		}
+	}
+	return vals[:k]
+}
+
+// growTo extends vals to length n, reusing capacity when possible.
+func growTo[T Integer](vals []T, n int) []T {
+	if cap(vals) >= n {
+		return vals[:n]
+	}
+	out := make([]T, n, max(n, 2*cap(vals)))
+	copy(out, vals)
+	return out
+}

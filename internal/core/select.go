@@ -147,16 +147,26 @@ func (d *Decoder[T]) excPositions(blk *Block[T], g int, out *[GroupSize]int32) [
 	return out[:n]
 }
 
+// maskBuf sizes the scratch mask to cover n values and returns it.
+func (s *selScratch[T]) maskBuf(n int) []uint32 {
+	words := (n + 31) / 32
+	if cap(s.mask) < words {
+		s.mask = make([]uint32, words)
+	}
+	s.mask = s.mask[:words]
+	return s.mask
+}
+
 // fixExceptions resolves group g's exception slots against the match
 // masks: the bogus gap codes have their mask bits cleared, and each
 // exception is judged on its true value, filling s.epos/s.eval with the
 // matches in position order.
-func (d *Decoder[T]) fixExceptions(blk *Block[T], g int, lo, hi T, s *selScratch[T]) (matched []int32) {
+func (d *Decoder[T]) fixExceptions(blk *Block[T], g int, lo, hi T, mask []uint32, s *selScratch[T]) (matched []int32) {
 	all := d.excPositions(blk, g, &s.xpos)
 	es, _ := blk.groupExc(g)
 	n := 0
 	for i, pos := range all {
-		s.mask[pos>>5] &^= 1 << (uint(pos) & 31)
+		mask[pos>>5] &^= 1 << (uint(pos) & 31)
 		ev := blk.Exc[es+i]
 		if ev >= lo && ev <= hi {
 			s.epos[n] = pos
@@ -168,33 +178,24 @@ func (d *Decoder[T]) fixExceptions(blk *Block[T], g int, lo, hi T, s *selScratch
 }
 
 // blockMasks runs the select kernels over the whole code section, filling
-// s.mask with one match bit per value (tail handled by the scalar path).
-// When codable is false no code can match and the masks are cleared.
-func (d *Decoder[T]) blockMasks(blk *Block[T], clo, span uint32, codable bool, s *selScratch[T]) {
-	words := (blk.N + 31) / 32
-	if cap(s.mask) < words {
-		s.mask = make([]uint32, words)
-	}
-	s.mask = s.mask[:words]
+// mask — sized for blk.N — with one match bit per value (tail handled by
+// the scalar path). When codable is false no code can match and the masks
+// are cleared.
+func (d *Decoder[T]) blockMasks(blk *Block[T], clo, span uint32, codable bool, mask []uint32) {
 	if !codable {
-		clear(s.mask)
+		clear(mask)
 		return
 	}
 	groups := blk.N / 32
-	bitpack.SelectMask(s.mask[:groups], blk.Codes, blk.B, clo, span)
+	bitpack.SelectMask(mask[:groups], blk.Codes, blk.B, clo, span)
 	if tail := blk.N % 32; tail > 0 {
-		s.mask[groups] = bitpack.SelectMaskTail(blk.Codes[groups*int(blk.B):], tail, blk.B, clo, span)
+		mask[groups] = bitpack.SelectMaskTail(blk.Codes[groups*int(blk.B):], tail, blk.B, clo, span)
 	}
 }
 
 // bitmapMasks is blockMasks for a non-contiguous PDICT predicate: each
 // group is unpacked and its codes tested against the per-code bitmap.
-func (d *Decoder[T]) bitmapMasks(blk *Block[T], s *selScratch[T]) {
-	words := (blk.N + 31) / 32
-	if cap(s.mask) < words {
-		s.mask = make([]uint32, words)
-	}
-	s.mask = s.mask[:words]
+func (d *Decoder[T]) bitmapMasks(blk *Block[T], mask []uint32, s *selScratch[T]) {
 	raw := d.scratch(GroupSize)
 	bm := s.bm
 	numGroups := blk.NumGroups()
@@ -202,7 +203,7 @@ func (d *Decoder[T]) bitmapMasks(blk *Block[T], s *selScratch[T]) {
 		gStart, gEnd := groupBounds(blk, g)
 		n := gEnd - gStart
 		unpackGroup(blk, g, n, raw)
-		mw := s.mask[gStart>>5:]
+		mw := mask[gStart>>5:]
 		i := 0
 		for ; i+32 <= n; i += 32 {
 			var m uint32
@@ -243,14 +244,14 @@ func (d *Decoder[T]) DecompressWhere(blk *Block[T], lo, hi T, sel []int32, vals 
 	switch blk.Scheme {
 	case SchemePFOR:
 		clo, span, ok := pforCodeRange(blk.Base, blk.B, lo, hi)
-		d.blockMasks(blk, clo, span, ok, s)
+		d.blockMasks(blk, clo, span, ok, s.maskBuf(blk.N))
 		k = d.emitMatches(blk, lo, hi, sel, vals, k, s)
 	case SchemePDict:
 		clo, span, ok, contiguous := d.pdictCodeMatch(blk, lo, hi, s)
 		if contiguous {
-			d.blockMasks(blk, clo, span, ok, s)
+			d.blockMasks(blk, clo, span, ok, s.maskBuf(blk.N))
 		} else {
-			d.bitmapMasks(blk, s)
+			d.bitmapMasks(blk, s.maskBuf(blk.N), s)
 		}
 		k = d.emitMatches(blk, lo, hi, sel, vals, k, s)
 	case SchemePFORDelta:
@@ -294,7 +295,7 @@ func (d *Decoder[T]) emitMatches(blk *Block[T], lo, hi T, sel []int32, vals []T,
 			}
 			continue
 		}
-		epos := d.fixExceptions(blk, g, lo, hi, s)
+		epos := d.fixExceptions(blk, g, lo, hi, s.mask, s)
 		xi := 0
 		for w := w0; w < w1; w++ {
 			vb := int32(w << 5)
@@ -402,14 +403,14 @@ func (d *Decoder[T]) AggregateWhere(blk *Block[T], lo, hi T) Aggregate[T] {
 	switch blk.Scheme {
 	case SchemePFOR:
 		clo, span, ok := pforCodeRange(blk.Base, blk.B, lo, hi)
-		d.blockMasks(blk, clo, span, ok, s)
+		d.blockMasks(blk, clo, span, ok, s.maskBuf(blk.N))
 		d.aggregateMasks(blk, lo, hi, &agg, s)
 	case SchemePDict:
 		clo, span, ok, contiguous := d.pdictCodeMatch(blk, lo, hi, s)
 		if contiguous {
-			d.blockMasks(blk, clo, span, ok, s)
+			d.blockMasks(blk, clo, span, ok, s.maskBuf(blk.N))
 		} else {
-			d.bitmapMasks(blk, s)
+			d.bitmapMasks(blk, s.maskBuf(blk.N), s)
 		}
 		d.aggregateMasks(blk, lo, hi, &agg, s)
 	case SchemePFORDelta:
@@ -449,7 +450,7 @@ func (d *Decoder[T]) aggregateMasks(blk *Block[T], lo, hi T, agg *Aggregate[T], 
 		gStart, gEnd := groupBounds(blk, g)
 		w0, w1 := gStart>>5, (gEnd+31)>>5
 		if es, ee := blk.groupExc(g); es != ee {
-			epos := d.fixExceptions(blk, g, lo, hi, s)
+			epos := d.fixExceptions(blk, g, lo, hi, s.mask, s)
 			for i := range epos {
 				agg.add(s.eval[i])
 			}

@@ -43,6 +43,23 @@
 // frames decode-then-filter with the same output contract, and warmed
 // sequential filtered scans allocate nothing.
 //
+// # Multi-column predicates
+//
+// ColumnSet composes selection vectors across predicates and columns —
+// the conjunctive step of the paper's RAM-CPU query pipeline. Columns
+// sharing block geometry (same rows, same block boundaries; anything
+// else is ErrColumnSetMismatch) scan as one unit: ScanWhereAll evaluates
+// a []Pred conjunction per block by building a one-bit-per-row bitmap
+// with the compare kernels of the most selective predicate (ordered by a
+// zone-map estimate), intersecting it branch-free with each further
+// predicate's matches — 32-row groups the running bitmap has emptied are
+// skipped before a single code is extracted — and materializing only the
+// rows that survive every predicate, from every column. AggregateWhereAll
+// folds one column's survivors without delivering them;
+// ParallelScanWhereAll runs blocks across the shared worker-pool engine
+// with the ParallelScan delivery contract. Warmed sequential conjunctive
+// scans allocate nothing.
+//
 // Unlike the internal packages, nothing here panics on bad input: invalid
 // parameters and corrupt or truncated bytes surface as typed errors
 // (ErrWidthOutOfRange, ErrBlockTooLarge, ErrCorruptSegment, ...).

@@ -50,4 +50,11 @@ var (
 
 	// ErrClosed reports a write to a closed ColumnWriter.
 	ErrClosed = errors.New("zukowski: column writer is closed")
+
+	// ErrColumnSetMismatch reports columns that cannot be scanned together
+	// because they disagree on block geometry: a ColumnSet requires every
+	// column to hold the same number of rows split at the same block
+	// boundaries, so one block-level selection bitmap applies to all of
+	// them.
+	ErrColumnSetMismatch = errors.New("zukowski: columns disagree on block geometry")
 )

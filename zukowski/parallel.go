@@ -79,16 +79,28 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 	return cr.parallelBlocks(match, workers, opts, seq, work)
 }
 
-// parallelBlocks is the block-parallel scan engine shared by ParallelScan,
-// ParallelScanWhere and ParallelScanSelect. work decodes one block with a
-// worker-owned state and returns a deliver closure (nil to deliver
-// nothing, e.g. a filtered block without matches); deliveries run
+// parallelBlocks is the block-parallel scan engine entry point of one
+// column: it binds the shared engine to the reader's block count and
+// decode-state pool. work decodes one block with a worker-owned state and
+// returns a deliver closure (nil to deliver nothing, e.g. a filtered
+// block without matches); seq is the one-worker degenerate case.
+func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, opts []ScanOption,
+	seq func() error, work func(st *decodeState[T], b int) (func() bool, error)) error {
+	return parallelBlocksEngine(len(cr.blocks), workers, match, opts, seq, cr.getState, cr.putState, work)
+}
+
+// parallelBlocksEngine is the block-parallel scan engine shared by
+// ParallelScan, ParallelScanWhere, ParallelScanSelect and the ColumnSet
+// scans (whose worker state spans several columns — hence the state type
+// parameter). work decodes one block with a worker-owned state and
+// returns a deliver closure (nil to deliver nothing); deliveries run
 // serialized under the engine mutex — in rank order when InOrder is set —
 // and a deliver returning false, a work error, or a panic in the delivery
 // stops the scan with sequential-equivalent semantics. seq is the
 // one-worker degenerate case.
-func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, opts []ScanOption,
-	seq func() error, work func(st *decodeState[T], b int) (func() bool, error)) error {
+func parallelBlocksEngine[S any](numBlocks, workers int, match func(b int) bool, opts []ScanOption,
+	seq func() error, getState func() S, putState func(S),
+	work func(st S, b int) (func() bool, error)) error {
 	var cfg scanConfig
 	for _, opt := range opts {
 		opt(&cfg)
@@ -99,10 +111,10 @@ func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, o
 	// The rank gate and worker pool need an indexable candidate list; the
 	// one-worker degenerate case is exactly the sequential loop instead.
 	var candidates []int
-	n := len(cr.blocks)
+	n := numBlocks
 	if workers > 1 && match != nil {
 		candidates = make([]int, 0, n)
-		for b := range cr.blocks {
+		for b := 0; b < numBlocks; b++ {
 			if match(b) {
 				candidates = append(candidates, b)
 			}
@@ -146,9 +158,9 @@ func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, o
 	// the one a worker holds is either delivered or in flight; waiting for
 	// next == t therefore cannot deadlock and buffers at most one decoded
 	// block per worker.
-	states := make([]*decodeState[T], workers)
+	states := make([]S, workers)
 	for w := range states {
-		states[w] = cr.getState()
+		states[w] = getState()
 	}
 	core.ParallelDo(workers, n, func(w, t int) bool {
 		deliver, err := work(states[w], blockAt(t))
@@ -179,7 +191,7 @@ func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, o
 		return true
 	})
 	for _, st := range states {
-		cr.putState(st)
+		putState(st)
 	}
 	if panicked != nil {
 		panic(panicked)
