@@ -42,6 +42,8 @@ import (
 type Report struct {
 	CreatedAt   string `json:"created_at"`
 	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
 	Source      string `json:"source"`
 	ElemType    string `json:"elem_type"`
 	NumValues   int    `json:"num_values"`
@@ -286,6 +288,8 @@ func run[T zukowski.Integer]() Report {
 	rep := Report{
 		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
 		Source:      source,
 		ElemType:    *elem,
 		NumValues:   len(vals),
@@ -791,8 +795,8 @@ func benchConjunctive[T zukowski.Integer](name string, set *zukowski.ColumnSet[T
 }
 
 func printText(w io.Writer, rep Report) {
-	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s, %s)\n",
-		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.CreatedAt)
+	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s %s/%s, %s)\n",
+		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CreatedAt)
 	parallel := rep.Workers > 1
 	if parallel {
 		fmt.Fprintf(w, "parallel scans: %d workers on %d CPUs\n", rep.Workers, rep.NumCPU)
@@ -898,6 +902,10 @@ func gate(rep Report, baselinePath string, tol float64) error {
 	if baseHasParallel && base.NumCPU > 0 && base.NumCPU < base.Workers {
 		fmt.Fprintf(os.Stderr, "gate: warning: baseline was measured on %d CPUs with %d workers, understating parallel capacity; regenerate it on a machine with at least %d CPUs to tighten this gate\n",
 			base.NumCPU, base.Workers, base.Workers)
+	}
+	if base.GOOS != "" && (base.GOOS != rep.GOOS || base.GOARCH != rep.GOARCH) {
+		fmt.Fprintf(os.Stderr, "gate: warning: baseline is from %s/%s, this run is %s/%s; bandwidth comparisons rely on the memory calibration alone\n",
+			base.GOOS, base.GOARCH, rep.GOOS, rep.GOARCH)
 	}
 	for _, b := range base.Results {
 		if b.Error != "" {

@@ -1,0 +1,290 @@
+// Package client is a small typed client for a zkserve server: request
+// marshalling, NDJSON row-stream and binary frame-stream decoding, and
+// status-code mapping. It exists for cmd/loadgen and the integration
+// tests; it is deliberately thin — one HTTP round trip per call, no
+// retries (the server's 429 Retry-After is surfaced, not obeyed).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// repro/zkserve is imported for the shared wire types (ScanRequest,
+// TablesResponse, the frame-stream reader); the client carries no wire
+// definitions of its own.
+import "repro/zkserve"
+
+// ErrScanFailed reports a stream whose trailer carried a server-side
+// error: rows delivered before it are valid, the scan did not finish.
+var ErrScanFailed = errors.New("client: scan failed mid-stream")
+
+// StatusError is a non-2xx response, with the server's error message and
+// any Retry-After hint (set on 429).
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
+}
+
+// IsSaturated reports whether err is a 429 admission refusal.
+func IsSaturated(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}
+
+// Client talks to one zkserve server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient; pass a
+// tuned Transport when driving thousands of concurrent connections.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path, accept string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&eb) == nil {
+			se.Msg = eb.Error
+		}
+		resp.Body.Close()
+		return nil, se
+	}
+	return resp, nil
+}
+
+// Tables fetches the capability listing.
+func (c *Client) Tables(ctx context.Context) (zkserve.TablesResponse, error) {
+	var out zkserve.TablesResponse
+	resp, err := c.do(ctx, http.MethodGet, "/tables", "", nil)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Aggregate runs an aggregate scan (req.Agg must be set).
+func (c *Client) Aggregate(ctx context.Context, req zkserve.ScanRequest) (zkserve.AggResponse, error) {
+	var out zkserve.AggResponse
+	resp, err := c.do(ctx, http.MethodPost, "/scan", "", req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// ScanResult summarizes one streamed scan.
+type ScanResult struct {
+	Rows      int64   // rows delivered (or represented, frame mode)
+	Truncated bool    // a budget stopped the stream early
+	Reason    string  // "rows" or "bytes" when truncated
+	ElapsedMS float64 // server-side scan time (row mode only)
+	Bytes     int64   // response payload bytes read by this client
+}
+
+// rowTrailer mirrors the NDJSON stream's closing object.
+type rowTrailer struct {
+	Done      bool    `json:"done"`
+	Rows      int64   `json:"rows"`
+	Truncated bool    `json:"truncated"`
+	Reason    string  `json:"reason"`
+	Error     string  `json:"error"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// ScanRows streams a row-mode scan, calling fn once per row with the
+// global row number and the output column values (the slice is reused
+// between calls). fn returning false abandons the stream — the server
+// notices the disconnect and stops. A nil fn drains and counts.
+func (c *Client) ScanRows(ctx context.Context, req zkserve.ScanRequest, fn func(row int64, vals []int64) bool) (ScanResult, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/scan", zkserve.MIMERows, req)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	defer resp.Body.Close()
+	cr := &countingReader{r: resp.Body}
+	sc := bufio.NewScanner(cr)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var res ScanResult
+	vals := make([]int64, 0, 8)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			if line[0] == '{' {
+				continue // header object
+			}
+		}
+		if line[0] == '[' {
+			row, parsed, err := parseRowLine(line, vals)
+			if err != nil {
+				return res, fmt.Errorf("client: bad row line: %w", err)
+			}
+			vals = parsed
+			res.Rows++
+			if fn != nil && !fn(row, vals) {
+				res.Bytes = cr.n
+				return res, nil
+			}
+			continue
+		}
+		var t rowTrailer
+		if err := json.Unmarshal(line, &t); err != nil {
+			return res, fmt.Errorf("client: bad trailer: %w", err)
+		}
+		res.Rows = t.Rows
+		res.Truncated = t.Truncated
+		res.Reason = t.Reason
+		res.ElapsedMS = t.ElapsedMS
+		res.Bytes = cr.n
+		if !t.Done {
+			return res, fmt.Errorf("%w: %s", ErrScanFailed, t.Error)
+		}
+		return res, nil
+	}
+	if err := sc.Err(); err != nil {
+		return res, err
+	}
+	return res, fmt.Errorf("%w: stream ended without a trailer", ErrScanFailed)
+}
+
+// parseRowLine decodes "[row,v0,v1]" without a JSON parser: the row
+// stream is the hot path of every load test.
+func parseRowLine(line []byte, vals []int64) (int64, []int64, error) {
+	vals = vals[:0]
+	if len(line) < 2 || line[0] != '[' || line[len(line)-1] != ']' {
+		return 0, vals, fmt.Errorf("not an array: %q", line)
+	}
+	body := line[1 : len(line)-1]
+	var row int64
+	for i := 0; len(body) > 0; i++ {
+		j := bytes.IndexByte(body, ',')
+		var field []byte
+		if j < 0 {
+			field, body = body, nil
+		} else {
+			field, body = body[:j], body[j+1:]
+		}
+		v, err := strconv.ParseInt(string(field), 10, 64)
+		if err != nil {
+			return 0, vals, err
+		}
+		if i == 0 {
+			row = v
+		} else {
+			vals = append(vals, v)
+		}
+	}
+	return row, vals, nil
+}
+
+// ScanFrames streams a frame-mode scan, calling fn once per shipped
+// block with its raw compressed frames (decode with
+// zukowski.FrameDecoder). fn returning false abandons the stream.
+func (c *Client) ScanFrames(ctx context.Context, req zkserve.ScanRequest, fn func(cols []zkserve.FrameStreamCol, blk *zkserve.FrameBlock) bool) (ScanResult, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/scan", zkserve.MIMEFrames, req)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	defer resp.Body.Close()
+	cr := &countingReader{r: resp.Body}
+	fr, err := zkserve.NewFrameStreamReader(cr)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	var res ScanResult
+	for {
+		blk, err := fr.Next()
+		if err != nil {
+			res.Bytes = cr.n
+			return res, err
+		}
+		if blk == nil {
+			break
+		}
+		if fn != nil && !fn(fr.Cols, blk) {
+			res.Bytes = cr.n
+			return res, nil
+		}
+	}
+	t := fr.Trailer()
+	res.Rows = t.Rows
+	res.Truncated = t.Status == zkserve.FrameStatusTruncated
+	res.Bytes = cr.n
+	if t.Status == zkserve.FrameStatusError {
+		return res, fmt.Errorf("%w: %s", ErrScanFailed, t.Err)
+	}
+	return res, nil
+}
+
+// Healthy reports whether /healthz answers 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", "", nil)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return true
+}

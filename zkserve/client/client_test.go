@@ -1,0 +1,36 @@
+package client
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestParseRowLine(t *testing.T) {
+	cases := []struct {
+		line string
+		row  int64
+		vals []int64
+	}{
+		{"[0,1]", 0, []int64{1}},
+		{"[17,3,40]", 17, []int64{3, 40}},
+		{"[5,-20,9223372036854775807]", 5, []int64{-20, 9223372036854775807}},
+		{"[-1,-9223372036854775808]", -1, []int64{-9223372036854775808}},
+		{"[42]", 42, nil},
+	}
+	var vals []int64
+	for _, tc := range cases {
+		row, got, err := parseRowLine([]byte(tc.line), vals)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.line, err)
+		}
+		vals = got
+		if row != tc.row || !slices.Equal(got, tc.vals) {
+			t.Fatalf("%q: got (%d, %v), want (%d, %v)", tc.line, row, got, tc.row, tc.vals)
+		}
+	}
+	for _, bad := range []string{"", "[", "[]x", "{1,2}", "[1,abc]", "[1,2.5]"} {
+		if _, _, err := parseRowLine([]byte(bad), nil); err == nil {
+			t.Fatalf("%q parsed without error", bad)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package zkserve serves columnar scans over HTTP: predicate pushdown
+// over the network, the paper's RAM–CPU argument extended one boundary
+// outward. The thesis of super-scalar decompression is that moving
+// compressed data and decoding it at the consumer beats moving decoded
+// data; zkserve applies that to the wire. A request names a table, a
+// column set and a conjunction of range predicates; the server pushes the
+// conjunction into the zukowski ColumnSet machinery (zone-map pruning,
+// compressed-domain selection bitmaps, refine kernels) and streams back
+// either materialized rows (NDJSON) or — in frame mode — the raw ZKC2
+// block frames themselves, zone-map-pruned but still compressed, for the
+// client to decode locally with zukowski.FrameDecoder.
+//
+// The server is built to be saturated. Admission control is a bounded
+// worker semaphore: a scan either gets a slot immediately or is refused
+// with 429 and Retry-After — load sheds at the door instead of queueing
+// unboundedly. Every query runs under row, byte and time budgets,
+// enforced mid-scan at block granularity through context cancellation
+// and emit-side accounting, so one greedy query cannot hold a slot
+// forever. A disconnected client cancels its request context and frees
+// its slot at the next block boundary. /metrics exports scan counts,
+// rows and bytes emitted, raw bytes scanned, zone-map prune rates, the
+// in-flight gauge and per-route latency histograms in Prometheus text
+// format; /healthz flips to 503 while draining so load balancers stop
+// routing before shutdown.
+//
+// Tables are directories of .zkc column containers registered from a
+// data directory (one subdirectory per table) or from memory. The
+// container header records element width but not signedness, so columns
+// are served as signed integers of their stored width; values travel as
+// int64 on the wire. Columns scanned together in one request must agree
+// on block geometry (rows and block boundaries) — row-mode scans
+// additionally on element width — anything else is refused with 422.
+//
+// The companion packages are repro/zkserve/client (a small typed client,
+// used by cmd/loadgen and the tests) and the commands cmd/zkserved (the
+// daemon: flags, slog, SIGTERM drain) and cmd/loadgen (N concurrent
+// clients with a selectivity mix, reporting p50/p99 latency and
+// aggregate MB/s as text or JSON).
+package zkserve

@@ -1,0 +1,84 @@
+package zkserve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/experiments"
+	"repro/zukowski"
+)
+
+// TableSpec describes a synthetic table for GenerateTable: Cols int64
+// columns of Rows values each. Column c0 is sorted-with-noise (clustered
+// values, so zone maps prune range predicates on it); the rest are the
+// PFOR-friendly skewed distribution the paper benchmarks. Codec names a
+// registered codec for every column; empty picks per-block automatically.
+type TableSpec struct {
+	Name        string
+	Rows        int
+	Cols        int
+	BlockValues int
+	Seed        int64
+	Codec       string
+}
+
+// GenerateTable writes spec under dir as a table directory OpenDir can
+// load: dir/<Name>/c0.zkc ... c<Cols-1>.zkc. It exists for cmd/zkserved
+// -gen, the integration tests and the CI serve job, which need a
+// deterministic corpus without shipping one.
+func GenerateTable(dir string, spec TableSpec) error {
+	if spec.Name == "" || spec.Rows <= 0 || spec.Cols <= 0 {
+		return fmt.Errorf("%w: table spec needs a name, rows and columns", ErrBadRequest)
+	}
+	if spec.BlockValues <= 0 {
+		spec.BlockValues = 4096
+	}
+	var codec zukowski.Codec[int64]
+	if spec.Codec != "" {
+		c, err := zukowski.Lookup[int64](spec.Codec)
+		if err != nil {
+			return err
+		}
+		codec = c
+	}
+	tdir := filepath.Join(dir, spec.Name)
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for c := 0; c < spec.Cols; c++ {
+		var vals []int64
+		if c == 0 {
+			vals = experiments.SynthSorted(rng, spec.Rows, 3)
+		} else {
+			vals = experiments.SynthPFOR(rng, spec.Rows, 10, 0.02)
+		}
+		if err := writeColumn(filepath.Join(tdir, fmt.Sprintf("c%d.zkc", c)), vals, codec, spec.BlockValues); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeColumn(path string, vals []int64, codec zukowski.Codec[int64], blockValues int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cw, err := zukowski.NewColumnWriter[int64](f, codec, blockValues)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := cw.Write(vals); err != nil {
+		f.Close()
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

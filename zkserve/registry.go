@@ -1,0 +1,422 @@
+package zkserve
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/zukowski"
+)
+
+// Typed errors of the serving layer. The HTTP handlers map these to
+// status codes: ErrUnknownTable/ErrUnknownColumn to 404, ErrMismatch
+// (and zukowski.ErrColumnSetMismatch) to 422, ErrBadRequest to 400.
+var (
+	ErrUnknownTable  = errors.New("zkserve: unknown table")
+	ErrUnknownColumn = errors.New("zkserve: unknown column")
+	ErrBadRequest    = errors.New("zkserve: bad request")
+	ErrMismatch      = errors.New("zkserve: columns cannot be scanned together")
+)
+
+// castagnoli is the CRC32-C table frame-mode streaming uses to re-verify
+// block payloads read straight from the container file.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// colHandle is the width-erased handle of one registered column. The
+// underlying reader is a zukowski.ColumnReader[T] for the signed integer
+// type of the column's stored element width; predicates and statistics
+// cross this boundary in the wire domain (int64), clamped per column.
+type colHandle interface {
+	colName() string
+	widthBytes() int
+	rows() int
+	numBlocks() int
+	blockCount(b int) int
+	blockFirstRow(b int) int64
+	compressedBytes() int
+	// minMax folds the column's zone maps; ok is false on ZKC1.
+	minMax() (lo, hi int64, ok bool)
+	// excludes reports whether block b's zone map proves the wire-domain
+	// range [lo, hi] selects nothing in the block.
+	excludes(b int, lo, hi int64) bool
+	// frameBytes returns block b's raw frame, checksum-verified when the
+	// container stores one. The returned slice must not be modified.
+	frameBytes(b int) ([]byte, error)
+	// reader returns the underlying *zukowski.ColumnReader[T].
+	reader() any
+}
+
+// column is the generic colHandle implementation for one element type.
+type column[T zukowski.Integer] struct {
+	name   string
+	cr     *zukowski.ColumnReader[T]
+	mem    []byte      // in-memory container, nil when src is set
+	src    io.ReaderAt // file-backed container
+	starts []int64     // starts[b] = first row of block b
+	counts []int32     // counts[b] = rows in block b
+	zlo    int64       // folded zone-map min (wire domain)
+	zhi    int64       // folded zone-map max
+	hasZM  bool
+}
+
+func (c *column[T]) colName() string           { return c.name }
+func (c *column[T]) rows() int                 { return c.cr.Len() }
+func (c *column[T]) numBlocks() int            { return c.cr.NumBlocks() }
+func (c *column[T]) blockCount(b int) int      { return int(c.counts[b]) }
+func (c *column[T]) blockFirstRow(b int) int64 { return c.starts[b] }
+func (c *column[T]) compressedBytes() int      { return c.cr.CompressedBytes() }
+func (c *column[T]) reader() any               { return c.cr }
+
+func (c *column[T]) widthBytes() int {
+	var zero T
+	return int(elemWidth(zero))
+}
+
+func (c *column[T]) minMax() (int64, int64, bool) { return c.zlo, c.zhi, c.hasZM }
+
+func (c *column[T]) excludes(b int, lo, hi int64) bool {
+	tlo, thi, ok := clampRange[T](lo, hi)
+	if !ok {
+		return true // the range has no image in T's domain: nothing can match
+	}
+	bmin, bmax, zok := c.cr.ZoneMap(b)
+	return zok && (bmax < tlo || bmin > thi)
+}
+
+func (c *column[T]) frameBytes(b int) ([]byte, error) {
+	info, err := c.cr.BlockInfo(b)
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	if c.mem != nil {
+		if info.Offset+int64(info.Length) > int64(len(c.mem)) {
+			return nil, fmt.Errorf("%w: block %d escapes the container", zukowski.ErrCorruptColumn, b)
+		}
+		buf = c.mem[info.Offset : info.Offset+int64(info.Length)]
+	} else {
+		buf = make([]byte, info.Length)
+		if _, err := c.src.ReadAt(buf, info.Offset); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", zukowski.ErrCorruptColumn, b, err)
+		}
+	}
+	if info.HasChecksum {
+		if got := crc32.Checksum(buf, castagnoli); got != info.CRC32C {
+			return nil, fmt.Errorf("%w: block %d payload (stored %08x, computed %08x)",
+				zukowski.ErrChecksumMismatch, b, info.CRC32C, got)
+		}
+	}
+	return buf, nil
+}
+
+// elemWidth returns T's size in bytes without reflection on the hot path.
+func elemWidth[T zukowski.Integer](T) uintptr {
+	switch any(*new(T)).(type) {
+	case int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// clampRange maps a wire-domain range [lo, hi] into T's domain. ok is
+// false when the intersection is empty — the predicate can match nothing
+// of this column. Only signed element types are instantiated by the
+// registry, so the domain is [-2^(w-1), 2^(w-1)-1].
+func clampRange[T zukowski.Integer](lo, hi int64) (tlo, thi T, ok bool) {
+	if lo > hi {
+		return tlo, thi, false
+	}
+	bits := 8 * int(elemWidth(tlo))
+	minT, maxT := int64(math.MinInt64), int64(math.MaxInt64)
+	if bits < 64 {
+		maxT = 1<<(bits-1) - 1
+		minT = -1 << (bits - 1)
+	}
+	if lo > maxT || hi < minT {
+		return tlo, thi, false
+	}
+	return T(max(lo, minT)), T(min(hi, maxT)), true
+}
+
+// openColumn builds the typed handle: the container is opened, the block
+// directory materialized into row starts, and the zone maps folded into
+// one column-wide [min, max] for the capability listing and loadgen's
+// predicate windows.
+func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, size int64) (colHandle, error) {
+	var cr *zukowski.ColumnReader[T]
+	var err error
+	if mem != nil {
+		cr, err = zukowski.OpenColumn[T](mem)
+	} else {
+		cr, err = zukowski.OpenColumnReaderAt[T](src, size)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &column[T]{name: name, cr: cr, mem: mem, src: src}
+	nb := cr.NumBlocks()
+	c.starts = make([]int64, nb)
+	c.counts = make([]int32, nb)
+	row := int64(0)
+	for b := 0; b < nb; b++ {
+		info, err := cr.BlockInfo(b)
+		if err != nil {
+			return nil, err
+		}
+		c.starts[b] = row
+		c.counts[b] = int32(info.Count)
+		row += int64(info.Count)
+		if info.HasZoneMap {
+			lo, hi := int64(info.Min), int64(info.Max)
+			if !c.hasZM {
+				c.zlo, c.zhi, c.hasZM = lo, hi, true
+			} else {
+				c.zlo, c.zhi = min(c.zlo, lo), max(c.zhi, hi)
+			}
+		}
+	}
+	return c, nil
+}
+
+// newColHandle sniffs the container's element width from its header and
+// opens the column as the signed integer type of that width (the header
+// records width, not signedness).
+func newColHandle(name string, mem []byte, src io.ReaderAt, size int64) (colHandle, error) {
+	var hdr [16]byte
+	if mem != nil {
+		if len(mem) < len(hdr) {
+			return nil, fmt.Errorf("%w: %d bytes", zukowski.ErrCorruptColumn, len(mem))
+		}
+		copy(hdr[:], mem)
+	} else {
+		if _, err := src.ReadAt(hdr[:], 0); err != nil {
+			return nil, fmt.Errorf("%w: reading header: %v", zukowski.ErrCorruptColumn, err)
+		}
+	}
+	switch hdr[4] {
+	case 1:
+		return openColumn[int8](name, mem, src, size)
+	case 2:
+		return openColumn[int16](name, mem, src, size)
+	case 4:
+		return openColumn[int32](name, mem, src, size)
+	case 8:
+		return openColumn[int64](name, mem, src, size)
+	}
+	return nil, fmt.Errorf("%w: unsupported element width %d", zukowski.ErrCorruptColumn, hdr[4])
+}
+
+// Table is a named collection of columns. Columns are registered
+// individually and validated individually; whether a particular subset
+// can be scanned together (same geometry, and for row mode the same
+// element width) is checked per request, so one malformed column poisons
+// only the requests that touch it.
+type Table struct {
+	name   string
+	cols   []colHandle
+	byName map[string]int
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in registration order.
+func (t *Table) Columns() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.colName()
+	}
+	return names
+}
+
+// colIndex resolves a column name.
+func (t *Table) colIndex(name string) (int, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q has no column %q", ErrUnknownColumn, t.name, name)
+	}
+	return i, nil
+}
+
+// ColumnMeta describes one column in the /tables capability listing.
+type ColumnMeta struct {
+	Name            string `json:"name"`
+	WidthBytes      int    `json:"width_bytes"`
+	Rows            int    `json:"rows"`
+	Blocks          int    `json:"blocks"`
+	CompressedBytes int    `json:"compressed_bytes"`
+	HasMinMax       bool   `json:"has_min_max"`
+	Min             int64  `json:"min"`
+	Max             int64  `json:"max"`
+}
+
+// TableMeta describes one table in the /tables capability listing.
+type TableMeta struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"` // rows of the first column
+	Columns []ColumnMeta `json:"columns"`
+}
+
+// Meta returns the table's capability listing entry.
+func (t *Table) Meta() TableMeta {
+	m := TableMeta{Name: t.name}
+	if len(t.cols) > 0 {
+		m.Rows = t.cols[0].rows()
+	}
+	for _, c := range t.cols {
+		cm := ColumnMeta{
+			Name:            c.colName(),
+			WidthBytes:      c.widthBytes(),
+			Rows:            c.rows(),
+			Blocks:          c.numBlocks(),
+			CompressedBytes: c.compressedBytes(),
+		}
+		cm.Min, cm.Max, cm.HasMinMax = c.minMax()
+		m.Columns = append(m.Columns, cm)
+	}
+	return m
+}
+
+// Registry maps table names to column sets. It is immutable once serving
+// starts: build it (OpenDir or AddColumnBytes/AddColumnFile), then share
+// it across every request — the underlying ColumnReaders are safe for
+// concurrent use, so the registry needs no locking of its own.
+type Registry struct {
+	tables  map[string]*Table
+	names   []string
+	closers []io.Closer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tables: map[string]*Table{}}
+}
+
+// Tables returns the registered table names, sorted.
+func (r *Registry) Tables() []string {
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	sort.Strings(names)
+	return names
+}
+
+// Table resolves a table name.
+func (r *Registry) Table(name string) (*Table, error) {
+	t, ok := r.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	return t, nil
+}
+
+func (r *Registry) table(name string) *Table {
+	t, ok := r.tables[name]
+	if !ok {
+		t = &Table{name: name, byName: map[string]int{}}
+		r.tables[name] = t
+		r.names = append(r.names, name)
+	}
+	return t
+}
+
+func (r *Registry) addHandle(table string, h colHandle) error {
+	t := r.table(table)
+	if _, dup := t.byName[h.colName()]; dup {
+		return fmt.Errorf("%w: table %q already has column %q", ErrBadRequest, table, h.colName())
+	}
+	t.byName[h.colName()] = len(t.cols)
+	t.cols = append(t.cols, h)
+	return nil
+}
+
+// AddColumnBytes registers an in-memory column container under
+// table/col. The bytes are retained and must stay immutable.
+func (r *Registry) AddColumnBytes(table, col string, data []byte) error {
+	h, err := newColHandle(col, data, nil, int64(len(data)))
+	if err != nil {
+		return fmt.Errorf("column %s/%s: %w", table, col, err)
+	}
+	return r.addHandle(table, h)
+}
+
+// AddColumnFile registers a column container file under table/col,
+// streaming blocks through an io.ReaderAt so columns larger than RAM
+// serve fine. The file stays open until Close.
+func (r *Registry) AddColumnFile(table, col, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	h, err := newColHandle(col, nil, f, st.Size())
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("column %s/%s: %w", table, col, err)
+	}
+	if err := r.addHandle(table, h); err != nil {
+		f.Close()
+		return err
+	}
+	r.closers = append(r.closers, f)
+	return nil
+}
+
+// OpenDir builds a registry from a data directory: every subdirectory is
+// a table, every *.zkc file inside it a column named after the file.
+// A directory with no tables yields an empty registry, not an error.
+func OpenDir(dir string) (*Registry, error) {
+	r := NewRegistry()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		table := e.Name()
+		files, err := os.ReadDir(filepath.Join(dir, table))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".zkc") {
+				continue
+			}
+			col := strings.TrimSuffix(f.Name(), ".zkc")
+			if err := r.AddColumnFile(table, col, filepath.Join(dir, table, f.Name())); err != nil {
+				r.Close()
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// Close releases the file handles of file-backed columns.
+func (r *Registry) Close() error {
+	var first error
+	for _, c := range r.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.closers = nil
+	return first
+}

@@ -1,0 +1,126 @@
+package zkserve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	cols := []FrameStreamCol{{Name: "alpha", WidthBytes: 8}, {Name: "b", WidthBytes: 2}}
+	fw.header(cols)
+	frames := [][]byte{{1, 2, 3, 4}, {9}}
+	fw.block(7, 7168, 1024, frames)
+	fw.block(9, 9216, 512, [][]byte{{}, {0xff, 0xee}})
+	fw.trailer(FrameStatusTruncated, 1536, "")
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if got := fw.bytesWritten(); got != int64(buf.Len()) {
+		t.Fatalf("bytesWritten = %d, buffer holds %d", got, buf.Len())
+	}
+
+	fr, err := NewFrameStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading header: %v", err)
+	}
+	if len(fr.Cols) != 2 || fr.Cols[0] != cols[0] || fr.Cols[1] != cols[1] {
+		t.Fatalf("cols = %+v, want %+v", fr.Cols, cols)
+	}
+	blk, err := fr.Next()
+	if err != nil {
+		t.Fatalf("first block: %v", err)
+	}
+	if blk.Index != 7 || blk.FirstRow != 7168 || blk.Count != 1024 {
+		t.Fatalf("first block = %+v", blk)
+	}
+	if !bytes.Equal(blk.Frames[0], frames[0]) || !bytes.Equal(blk.Frames[1], frames[1]) {
+		t.Fatalf("first block frames = %v", blk.Frames)
+	}
+	blk, err = fr.Next()
+	if err != nil || blk == nil {
+		t.Fatalf("second block: %v, %v", blk, err)
+	}
+	if len(blk.Frames[0]) != 0 || !bytes.Equal(blk.Frames[1], []byte{0xff, 0xee}) {
+		t.Fatalf("second block frames = %v", blk.Frames)
+	}
+	if blk, err = fr.Next(); err != nil || blk != nil {
+		t.Fatalf("after last block: %v, %v", blk, err)
+	}
+	tr := fr.Trailer()
+	if tr.Status != FrameStatusTruncated || tr.Rows != 1536 || tr.Err != "" {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+func TestFrameStreamErrorTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	fw.header(nil)
+	fw.trailer(FrameStatusError, 0, "boom")
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	fr, err := NewFrameStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if blk, err := fr.Next(); err != nil || blk != nil {
+		t.Fatalf("Next = %v, %v", blk, err)
+	}
+	if tr := fr.Trailer(); tr.Status != FrameStatusError || tr.Err != "boom" {
+		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+func TestFrameStreamCutMidFlight(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	fw.header([]FrameStreamCol{{Name: "c", WidthBytes: 8}})
+	fw.block(0, 0, 4, [][]byte{{1, 2, 3}})
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// No trailer: the stream was cut. The reader must not report a clean
+	// end.
+	fr, err := NewFrameStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatalf("block: %v", err)
+	}
+	if _, err := fr.Next(); err == nil {
+		t.Fatal("cut stream reported a clean end")
+	}
+
+	// A garbage magic is refused outright.
+	if _, err := NewFrameStreamReader(strings.NewReader("NOPE0000")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRowWriterShape(t *testing.T) {
+	var buf bytes.Buffer
+	rw := newRowWriter(&buf)
+	rw.header("t", []string{"a", "b"})
+	rw.rows([]int64{5, 6}, [][]int64{{10, -20}, {30, 40}})
+	rw.trailer(2, true, "rows", nil, 1.5)
+	if err := rw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	want := `{"table":"t","cols":["a","b"]}
+[5,10,30]
+[6,-20,40]
+`
+	got := buf.String()
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("stream = %q, want prefix %q", got, want)
+	}
+	if !strings.Contains(got, `"done":true`) || !strings.Contains(got, `"truncated":true`) ||
+		!strings.Contains(got, `"reason":"rows"`) {
+		t.Fatalf("trailer line = %q", got[strings.LastIndex(got[:len(got)-1], "\n")+1:])
+	}
+}

@@ -1,0 +1,302 @@
+package zkserve
+
+import (
+	"context"
+	"fmt"
+
+	"repro/zukowski"
+)
+
+// Query planning. A scanPlan is a validated request against one table:
+// resolved output columns, resolved predicates in the wire (int64)
+// domain, and a worker count. Execution dispatches on the involved
+// columns' shared element width to the generic runners below, which
+// build a zukowski.ColumnSet over exactly the involved columns and push
+// the conjunction into ScanWhereAllContext — zone-map pruning,
+// compressed-domain bitmaps and refine kernels all engage server-side,
+// and only surviving rows are widened onto the wire.
+
+// predSpec is one resolved conjunct in the wire domain.
+type predSpec struct {
+	col    int // index into table.cols
+	lo, hi int64
+}
+
+// scanPlan is a validated scan against one table.
+type scanPlan struct {
+	table   *Table
+	out     []int // output column indices, in request order
+	preds   []predSpec
+	workers int
+}
+
+// involved returns the deduplicated union of output and predicate
+// columns, preserving first-appearance order (outputs first).
+func (p *scanPlan) involved() []int {
+	seen := make(map[int]bool, len(p.out)+len(p.preds))
+	var inv []int
+	add := func(ci int) {
+		if !seen[ci] {
+			seen[ci] = true
+			inv = append(inv, ci)
+		}
+	}
+	for _, ci := range p.out {
+		add(ci)
+	}
+	for _, ps := range p.preds {
+		add(ps.col)
+	}
+	return inv
+}
+
+// checkGeometry verifies the involved columns agree on rows and block
+// boundaries — the invariant that lets one block's selection bitmap (or
+// one block index, in frame mode) apply across all of them.
+func (p *scanPlan) checkGeometry(involved []int) error {
+	first := p.table.cols[involved[0]]
+	for _, ci := range involved[1:] {
+		c := p.table.cols[ci]
+		if c.rows() != first.rows() {
+			return fmt.Errorf("%w: column %q holds %d rows, column %q holds %d",
+				ErrMismatch, first.colName(), first.rows(), c.colName(), c.rows())
+		}
+		if c.numBlocks() != first.numBlocks() {
+			return fmt.Errorf("%w: column %q has %d blocks, column %q has %d",
+				ErrMismatch, first.colName(), first.numBlocks(), c.colName(), c.numBlocks())
+		}
+		for b := 0; b < c.numBlocks(); b++ {
+			if c.blockCount(b) != first.blockCount(b) {
+				return fmt.Errorf("%w: block %d holds %d rows in column %q but %d in column %q",
+					ErrMismatch, b, c.blockCount(b), c.colName(), first.blockCount(b), first.colName())
+			}
+		}
+	}
+	return nil
+}
+
+// uniformWidth verifies the involved columns share one element width —
+// required wherever values of several columns flow through one typed
+// ColumnSet — and returns it.
+func (p *scanPlan) uniformWidth(involved []int) (int, error) {
+	w := p.table.cols[involved[0]].widthBytes()
+	for _, ci := range involved[1:] {
+		if cw := p.table.cols[ci].widthBytes(); cw != w {
+			return 0, fmt.Errorf("%w: column %q is %d bytes wide, column %q is %d (row-mode scans need one width; frame mode has no such limit)",
+				ErrMismatch, p.table.cols[involved[0]].colName(), w, p.table.cols[ci].colName(), cw)
+		}
+	}
+	return w, nil
+}
+
+// validateRowMode runs every check that must pass before the response
+// header is committed: geometry and width agreement across the involved
+// columns. Mapped to 422 by the HTTP layer.
+func (p *scanPlan) validateRowMode() error {
+	inv := p.involved()
+	if err := p.checkGeometry(inv); err != nil {
+		return err
+	}
+	_, err := p.uniformWidth(inv)
+	return err
+}
+
+// validateFrameMode checks what frame-mode streaming needs: geometry
+// only — frames of different element widths ship side by side fine.
+func (p *scanPlan) validateFrameMode() error {
+	return p.checkGeometry(p.involved())
+}
+
+// blockStats walks directory metadata only: how many blocks the
+// conjunction's zone maps prune, how many survive, and the raw
+// (uncompressed) bytes of the surviving blocks across the involved
+// columns — the denominator feeding the bytes-scanned and prune-rate
+// metrics. Call only after geometry validation.
+func (p *scanPlan) blockStats() (scanned, pruned int, rawBytes int64) {
+	inv := p.involved()
+	first := p.table.cols[inv[0]]
+	rowWidth := int64(0)
+	for _, ci := range inv {
+		rowWidth += int64(p.table.cols[ci].widthBytes())
+	}
+	for b := 0; b < first.numBlocks(); b++ {
+		excluded := false
+		for _, ps := range p.preds {
+			if p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			pruned++
+			continue
+		}
+		scanned++
+		rawBytes += int64(first.blockCount(b)) * rowWidth
+	}
+	return scanned, pruned, rawBytes
+}
+
+// run executes the plan in row mode, invoking emit once per block with
+// surviving rows with the global row numbers and, per requested output
+// column, the widened values (vals[i][j] is output column i's value at
+// rows[j]). The slices are reused between calls. emit returning false
+// stops the scan cleanly (nil); context death returns ctx.Err().
+func (p *scanPlan) run(ctx context.Context, emit func(rows []int64, vals [][]int64) bool) error {
+	inv := p.involved()
+	w, err := p.uniformWidth(inv)
+	if err != nil {
+		return err
+	}
+	switch w {
+	case 1:
+		return runScan[int8](ctx, p, inv, emit)
+	case 2:
+		return runScan[int16](ctx, p, inv, emit)
+	case 4:
+		return runScan[int32](ctx, p, inv, emit)
+	default:
+		return runScan[int64](ctx, p, inv, emit)
+	}
+}
+
+// AggResult is an aggregate in the wire domain. Min and Max are only
+// meaningful when Count > 0; Sum wraps in int64 like the engine's.
+type AggResult struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// aggregate executes the plan as an aggregate over output column
+// aggCol (an index into table.cols, which must be in p.out or p.preds).
+func (p *scanPlan) aggregate(ctx context.Context, aggCol int) (AggResult, error) {
+	inv := p.involved()
+	w, err := p.uniformWidth(inv)
+	if err != nil {
+		return AggResult{}, err
+	}
+	switch w {
+	case 1:
+		return runAggregate[int8](ctx, p, inv, aggCol)
+	case 2:
+		return runAggregate[int16](ctx, p, inv, aggCol)
+	case 4:
+		return runAggregate[int32](ctx, p, inv, aggCol)
+	default:
+		return runAggregate[int64](ctx, p, inv, aggCol)
+	}
+}
+
+// buildSet assembles the typed ColumnSet over the involved columns and
+// translates the plan's predicates into its index space. empty reports a
+// conjunction with no possible match (a predicate range with no image in
+// T's domain) — the caller should emit zero rows and succeed.
+func buildSet[T zukowski.Integer](p *scanPlan, involved []int) (set *zukowski.ColumnSet[T], setIdx map[int]int, preds []zukowski.Pred[T], empty bool, err error) {
+	readers := make([]*zukowski.ColumnReader[T], len(involved))
+	setIdx = make(map[int]int, len(involved))
+	for i, ci := range involved {
+		cr, ok := p.table.cols[ci].reader().(*zukowski.ColumnReader[T])
+		if !ok {
+			return nil, nil, nil, false, fmt.Errorf("%w: column %q element width changed underfoot",
+				ErrMismatch, p.table.cols[ci].colName())
+		}
+		readers[i] = cr
+		setIdx[ci] = i
+	}
+	set, err = zukowski.NewColumnSet(readers...)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	for _, ps := range p.preds {
+		tlo, thi, ok := clampRange[T](ps.lo, ps.hi)
+		if !ok {
+			return set, setIdx, nil, true, nil
+		}
+		preds = append(preds, zukowski.Pred[T]{Col: setIdx[ps.col], Lo: tlo, Hi: thi})
+	}
+	return set, setIdx, preds, false, nil
+}
+
+func runScan[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []int, emit func(rows []int64, vals [][]int64) bool) error {
+	set, setIdx, preds, empty, err := buildSet[T](p, involved)
+	if err != nil || empty {
+		return err
+	}
+	outIdx := make([]int, len(p.out))
+	for i, ci := range p.out {
+		outIdx[i] = setIdx[ci]
+	}
+	widened := make([][]int64, len(p.out))
+	deliver := func(rows []int64, cols [][]T) bool {
+		for i, si := range outIdx {
+			w := widened[i][:0]
+			for _, v := range cols[si] {
+				w = append(w, int64(v))
+			}
+			widened[i] = w
+		}
+		return emit(rows, widened)
+	}
+	if p.workers > 1 {
+		return set.ParallelScanWhereAllContext(ctx, preds, p.workers,
+			func(_ int, rows []int64, cols [][]T) bool { return deliver(rows, cols) },
+			zukowski.InOrder())
+	}
+	return set.ScanWhereAllContext(ctx, preds, deliver)
+}
+
+func runAggregate[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []int, aggCol int) (AggResult, error) {
+	set, setIdx, preds, empty, err := buildSet[T](p, involved)
+	if err != nil || empty {
+		return AggResult{}, err
+	}
+	agg, err := set.AggregateWhereAllContext(ctx, preds, setIdx[aggCol])
+	if err != nil {
+		return AggResult{}, err
+	}
+	return AggResult{Count: agg.Count, Sum: agg.Sum, Min: int64(agg.Min), Max: int64(agg.Max)}, nil
+}
+
+// streamBlocks executes the plan in frame mode: for every block the
+// conjunction's zone maps cannot exclude, emit receives the block index,
+// its first global row, its row count, and the raw (still compressed)
+// frame of every output column. The frames alias registry memory or a
+// fresh per-block read; emit must not modify them. emit returning false
+// stops cleanly; context death returns ctx.Err() at block granularity.
+func (p *scanPlan) streamBlocks(ctx context.Context, emit func(b int, firstRow int64, count int, frames [][]byte) bool) error {
+	first := p.table.cols[p.involved()[0]]
+	frames := make([][]byte, len(p.out))
+	for _, ps := range p.preds {
+		if ps.lo > ps.hi {
+			return nil
+		}
+	}
+	for b := 0; b < first.numBlocks(); b++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		excluded := false
+		for _, ps := range p.preds {
+			if p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		for i, ci := range p.out {
+			frame, err := p.table.cols[ci].frameBytes(b)
+			if err != nil {
+				return err
+			}
+			frames[i] = frame
+		}
+		if !emit(b, first.blockFirstRow(b), first.blockCount(b), frames) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package zukowski
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -378,12 +379,14 @@ func (cs *ColumnSet[T]) blockWhereAll(st *setState[T], b int, preds []Pred[T]) (
 // holds one pooled state — per-column decode scratch, the bitmap, and the
 // output buffers — for its whole pass.
 func (cs *ColumnSet[T]) ScanWhereAll(preds []Pred[T], fn func(rows []int64, cols [][]T) bool) error {
-	return cs.scanWhereAll(preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+	return cs.scanWhereAll(context.Background(), preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
 }
 
 // scanWhereAll is the sequential conjunctive scan loop, also the
-// one-worker degenerate case of ParallelScanWhereAll.
-func (cs *ColumnSet[T]) scanWhereAll(preds []Pred[T], fn func(block int, rows []int64, cols [][]T) bool) error {
+// one-worker degenerate case of ParallelScanWhereAll. ctx is consulted
+// once per block (see ScanWhereAllContext); context.Background() never
+// fires and costs one predictable branch.
+func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, preds []Pred[T], fn func(block int, rows []int64, cols [][]T) bool) error {
 	empty, err := cs.checkPreds(preds)
 	if err != nil || empty {
 		return err
@@ -392,6 +395,9 @@ func (cs *ColumnSet[T]) scanWhereAll(preds []Pred[T], fn func(block int, rows []
 	defer cs.putState(st)
 	match := cs.zoneMatchAll(preds)
 	for b := range cs.cols[0].blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !match(b) {
 			continue
 		}
@@ -417,12 +423,21 @@ func (cs *ColumnSet[T]) scanWhereAll(preds []Pred[T], fn func(block int, rows []
 // skipped without a delivery. Each worker owns one pooled scan state —
 // every column's decode scratch and bitmap — for the whole scan.
 func (cs *ColumnSet[T]) ParallelScanWhereAll(preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	return cs.parallelScanWhereAll(context.Background(), preds, workers, fn, opts)
+}
+
+// parallelScanWhereAll is ParallelScanWhereAll with an explicit context,
+// checked once per block claim (see ParallelScanWhereAllContext).
+func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts []ScanOption) error {
 	empty, err := cs.checkPreds(preds)
 	if err != nil || empty {
 		return err
 	}
-	seq := func() error { return cs.scanWhereAll(preds, fn) }
+	seq := func() error { return cs.scanWhereAll(ctx, preds, fn) }
 	work := func(st *setState[T], b int) (func() bool, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rows, out, err := cs.blockWhereAll(st, b, preds)
 		if err != nil {
 			return nil, err
@@ -443,6 +458,12 @@ func (cs *ColumnSet[T]) ParallelScanWhereAll(preds []Pred[T], workers int, fn fu
 // materializes a non-matching value. An empty preds slice aggregates the
 // whole column; a trivially empty conjunction yields Count == 0.
 func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int) (Aggregate[T], error) {
+	return cs.aggregateWhereAll(context.Background(), preds, col)
+}
+
+// aggregateWhereAll is AggregateWhereAll with an explicit context, checked
+// once per block (see AggregateWhereAllContext).
+func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, preds []Pred[T], col int) (Aggregate[T], error) {
 	var agg Aggregate[T]
 	if col < 0 || col >= len(cs.cols) {
 		return agg, fmt.Errorf("%w: aggregate column %d not in [0,%d)", ErrIndexOutOfRange, col, len(cs.cols))
@@ -455,6 +476,9 @@ func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int) (Aggregate[T
 	defer cs.putState(st)
 	match := cs.zoneMatchAll(preds)
 	for b := range cs.cols[0].blocks {
+		if err := ctx.Err(); err != nil {
+			return Aggregate[T]{}, err
+		}
 		if !match(b) {
 			continue
 		}

@@ -1,0 +1,42 @@
+package zukowski
+
+import "context"
+
+// Context-aware conjunctive scans. A long scan over a large ColumnSet is
+// the unit of work a serving layer hands out per request, and a request
+// can die mid-scan: the client disconnects, a per-query time budget
+// expires, a row budget trips a cancel. These variants consult ctx at
+// block granularity — the natural preemption point, since one block is
+// one bounded quantum of decode work — and return ctx.Err()
+// (context.Canceled or context.DeadlineExceeded) as soon as it fires,
+// without starting another block. A scan already inside a block finishes
+// that block first, so cancellation latency is bounded by one block's
+// decode time, not the scan's.
+//
+// The context is plumbing, not a predicate: a nil-to-fire context makes
+// these behave exactly like their context-free counterparts, at the cost
+// of one Err() check per block.
+
+// ScanWhereAllContext is ScanWhereAll under a context: the scan stops at
+// the next block boundary once ctx is done and returns ctx.Err(). A scan
+// stopped by fn returning false still returns nil; a scan stopped by the
+// context returns context.Canceled or context.DeadlineExceeded.
+func (cs *ColumnSet[T]) ScanWhereAllContext(ctx context.Context, preds []Pred[T], fn func(rows []int64, cols [][]T) bool) error {
+	return cs.scanWhereAll(ctx, preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+}
+
+// ParallelScanWhereAllContext is ParallelScanWhereAll under a context:
+// workers stop claiming blocks once ctx is done, in-flight blocks are
+// discarded undelivered, and the scan returns ctx.Err(). Like any worker
+// error, cancellation surfaces after the pool drains — bounded by the
+// blocks already being decoded, never by blocks not yet claimed.
+func (cs *ColumnSet[T]) ParallelScanWhereAllContext(ctx context.Context, preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	return cs.parallelScanWhereAll(ctx, preds, workers, fn, opts)
+}
+
+// AggregateWhereAllContext is AggregateWhereAll under a context: the fold
+// stops at the next block boundary once ctx is done and returns a zero
+// Aggregate with ctx.Err().
+func (cs *ColumnSet[T]) AggregateWhereAllContext(ctx context.Context, preds []Pred[T], col int) (Aggregate[T], error) {
+	return cs.aggregateWhereAll(ctx, preds, col)
+}

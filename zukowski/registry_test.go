@@ -37,6 +37,31 @@ func TestRegistryBuiltins(t *testing.T) {
 	}
 }
 
+// TestCodecsDeterministicOrder: Codecs() is a stable, documented order —
+// registration order, built-ins first — not map iteration order. Tools
+// that enumerate codecs (codecbench reports, the scan service's
+// capability listing, loadgen output) rely on two invocations agreeing,
+// and checked-in baselines rely on the order surviving process restarts.
+// User registrations append after this prefix, so the test pins the
+// built-in prefix exactly and then checks a second call returns an
+// identical snapshot.
+func TestCodecsDeterministicOrder(t *testing.T) {
+	wantPrefix := []string{
+		"pfor", "pfor-delta", "pdict", "none", "auto",
+		"for", "dict", "vbyte", "flate", "lzw", "lzrw1",
+	}
+	names := zukowski.Codecs()
+	if len(names) < len(wantPrefix) {
+		t.Fatalf("Codecs() = %v, want at least the %d built-ins", names, len(wantPrefix))
+	}
+	if !slices.Equal(names[:len(wantPrefix)], wantPrefix) {
+		t.Fatalf("built-in codec order changed:\n got %v\nwant %v", names[:len(wantPrefix)], wantPrefix)
+	}
+	if again := zukowski.Codecs(); !slices.Equal(names, again) {
+		t.Fatalf("two Codecs() calls disagree:\n first %v\nsecond %v", names, again)
+	}
+}
+
 // TestRegistryUnknown: unknown names return ErrUnknownCodec.
 func TestRegistryUnknown(t *testing.T) {
 	if _, err := zukowski.Lookup[int64]("no-such-codec"); !errors.Is(err, zukowski.ErrUnknownCodec) {
