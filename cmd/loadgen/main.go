@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -67,6 +68,13 @@ type Report struct {
 	P90Ms      float64 `json:"p90_ms"`
 	P99Ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
+
+	// Server-side hot-block cache activity over this run (deltas of the
+	// /metrics counters between start and finish).
+	CacheEnabled bool    `json:"cache_enabled"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 func main() {
@@ -84,6 +92,7 @@ func main() {
 		decode    = flag.Bool("decode", false, "frames mode: decode every received frame client-side")
 		format    = flag.String("format", "text", "text or json")
 		requireOK = flag.Bool("require-ok", false, "exit non-zero unless at least one scan succeeded")
+		maxP99MS  = flag.Float64("max-p99-ms", 0, "exit non-zero if p99 latency exceeds this many ms (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -125,6 +134,8 @@ func main() {
 	if predCol == "" {
 		fmt.Fprintf(os.Stderr, "loadgen: table %q has no zone-mapped column; scanning without predicates\n", meta.Name)
 	}
+
+	cacheBefore := scrapeCache(*url)
 
 	deadline := time.Now().Add(*duration)
 	stats := make([]clientStats, *clients)
@@ -189,6 +200,14 @@ func main() {
 
 	rep := merge(stats, elapsed)
 	rep.URL, rep.Table, rep.Mode, rep.Clients = *url, meta.Name, *mode, *clients
+	if cacheAfter := scrapeCache(*url); cacheBefore.ok && cacheAfter.ok {
+		rep.CacheEnabled = cacheAfter.enabled
+		rep.CacheHits = cacheAfter.hits - cacheBefore.hits
+		rep.CacheMisses = cacheAfter.misses - cacheBefore.misses
+		if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+			rep.CacheHitRate = float64(rep.CacheHits) / float64(total)
+		}
+	}
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -200,6 +219,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: no scan succeeded")
 		os.Exit(1)
 	}
+	if *maxP99MS > 0 && rep.OK > 0 && rep.P99Ms > *maxP99MS {
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %.2fms exceeds gate %.2fms\n", rep.P99Ms, *maxP99MS)
+		os.Exit(1)
+	}
+}
+
+// cacheCounters is one /metrics snapshot of the server's cache series.
+type cacheCounters struct {
+	ok      bool
+	enabled bool
+	hits    int64
+	misses  int64
+}
+
+// scrapeCache reads the hot-block cache counters from /metrics. A server
+// without the series (or an unreachable one) yields ok=false and the
+// report simply omits cache activity.
+func scrapeCache(base string) cacheCounters {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return cacheCounters{}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return cacheCounters{}
+	}
+	var c cacheCounters
+	var seen int
+	for line := range strings.SplitSeq(string(body), "\n") {
+		var v int64
+		switch {
+		case scanMetric(line, "zkserve_cache_hits_total", &v):
+			c.hits, seen = v, seen+1
+		case scanMetric(line, "zkserve_cache_misses_total", &v):
+			c.misses, seen = v, seen+1
+		case scanMetric(line, "zkserve_cache_enabled", &v):
+			c.enabled, seen = v != 0, seen+1
+		}
+	}
+	c.ok = seen == 3
+	return c
+}
+
+func scanMetric(line, name string, v *int64) bool {
+	_, err := fmt.Sscanf(line, name+" %d", v)
+	return err == nil
 }
 
 func runOne(ctx context.Context, cl *client.Client, mode string, req zkserve.ScanRequest, decode bool) (rows, bytes int64, truncated bool, err error) {
@@ -348,4 +414,8 @@ func printText(rep Report) {
 		rep.QPS, rep.RowsPerSec, rep.MBPerSec)
 	fmt.Printf("  latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+	if rep.CacheEnabled {
+		fmt.Printf("  cache      %d hits, %d misses (%.1f%% hit rate)\n",
+			rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate)
+	}
 }

@@ -44,6 +44,7 @@ func main() {
 		maxBytes    = flag.Int64("max-bytes", 0, "server-wide per-query response byte budget (0 = unlimited)")
 		maxDur      = flag.Duration("max-duration", 0, "server-wide per-query time budget (0 = unlimited)")
 		maxWorkers  = flag.Int("max-workers", 0, "per-scan parallelism cap (0 = GOMAXPROCS)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "hot-block cache byte budget shared across all tables (0 = off)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight scans get to finish on shutdown")
 		logLevelStr = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
@@ -84,6 +85,9 @@ func main() {
 		m := t.Meta()
 		logger.Info("table registered", "table", name, "rows", m.Rows, "columns", len(m.Columns))
 	}
+	if *cacheBytes > 0 {
+		logger.Info("hot-block cache enabled", "budget_bytes", *cacheBytes)
+	}
 
 	srv := zkserve.NewServer(zkserve.Config{
 		Registry:    reg,
@@ -92,6 +96,7 @@ func main() {
 		MaxBytes:    *maxBytes,
 		MaxDuration: *maxDur,
 		MaxWorkers:  *maxWorkers,
+		CacheBytes:  *cacheBytes,
 		Logger:      logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}

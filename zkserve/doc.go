@@ -23,6 +23,16 @@
 // format; /healthz flips to 503 while draining so load balancers stop
 // routing before shutdown.
 //
+// Config.CacheBytes (zkserved -cache-bytes) attaches one process-wide
+// hot-block cache — a zukowski.BlockLRU over verified raw frames —
+// shared across every registered table, so repeat traffic to
+// file-backed columns skips the per-block read and checksum work.
+// Containers are immutable, so the cache needs no invalidation;
+// corrupt blocks are never admitted. /metrics always exports the cache
+// series (hits, misses, inserts, evictions, resident/capacity bytes,
+// entries — zero-valued when the cache is off) and /tables reports the
+// cache configuration alongside the table listing.
+//
 // Tables are directories of .zkc column containers registered from a
 // data directory (one subdirectory per table) or from memory. The
 // container header records element width but not signedness, so columns

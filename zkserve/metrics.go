@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"repro/zukowski"
 )
 
 // Metrics is the server's observability surface: lock-free atomic
@@ -110,4 +112,29 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP zkserve_request_duration_seconds Request latency by route class.\n# TYPE zkserve_request_duration_seconds histogram\n")
 	m.scanLatency.write(w, "zkserve_request_duration_seconds", "scan")
 	m.otherLatency.write(w, "zkserve_request_duration_seconds", "other")
+}
+
+// writeCacheProm appends the hot-block cache series to the exposition.
+// The series are always present — zero-valued when the cache is off — so
+// dashboards and the hit-rate math never hit missing-series gaps when a
+// deployment toggles -cache-bytes.
+func writeCacheProm(w io.Writer, enabled bool, st zukowski.CacheStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	on := int64(0)
+	if enabled {
+		on = 1
+	}
+	gauge("zkserve_cache_enabled", "Whether the hot-block cache is configured (1) or off (0).", on)
+	counter("zkserve_cache_hits_total", "Block fetches served from the hot-block cache.", st.Hits)
+	counter("zkserve_cache_misses_total", "Block fetches that had to read and verify from the source.", st.Misses)
+	counter("zkserve_cache_inserts_total", "Verified frames admitted into the cache.", st.Puts)
+	counter("zkserve_cache_evictions_total", "Frames evicted to stay under the byte budget.", st.Evictions)
+	gauge("zkserve_cache_resident_bytes", "Bytes currently held by the cache (payload plus bookkeeping).", st.Bytes)
+	gauge("zkserve_cache_capacity_bytes", "Configured cache byte budget.", st.Capacity)
+	gauge("zkserve_cache_entries", "Frames currently resident in the cache.", st.Entries)
 }

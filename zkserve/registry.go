@@ -3,7 +3,6 @@ package zkserve
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -23,10 +22,6 @@ var (
 	ErrBadRequest    = errors.New("zkserve: bad request")
 	ErrMismatch      = errors.New("zkserve: columns cannot be scanned together")
 )
-
-// castagnoli is the CRC32-C table frame-mode streaming uses to re-verify
-// block payloads read straight from the container file.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // colHandle is the width-erased handle of one registered column. The
 // underlying reader is a zukowski.ColumnReader[T] for the signed integer
@@ -48,6 +43,9 @@ type colHandle interface {
 	// frameBytes returns block b's raw frame, checksum-verified when the
 	// container stores one. The returned slice must not be modified.
 	frameBytes(b int) ([]byte, error)
+	// setCache attaches the registry's hot-block cache to the reader
+	// (a no-op for in-memory columns, which are already resident).
+	setCache(c zukowski.BlockCache)
 	// reader returns the underlying *zukowski.ColumnReader[T].
 	reader() any
 }
@@ -56,12 +54,10 @@ type colHandle interface {
 type column[T zukowski.Integer] struct {
 	name   string
 	cr     *zukowski.ColumnReader[T]
-	mem    []byte      // in-memory container, nil when src is set
-	src    io.ReaderAt // file-backed container
-	starts []int64     // starts[b] = first row of block b
-	counts []int32     // counts[b] = rows in block b
-	zlo    int64       // folded zone-map min (wire domain)
-	zhi    int64       // folded zone-map max
+	starts []int64 // starts[b] = first row of block b
+	counts []int32 // counts[b] = rows in block b
+	zlo    int64   // folded zone-map min (wire domain)
+	zhi    int64   // folded zone-map max
 	hasZM  bool
 }
 
@@ -89,30 +85,16 @@ func (c *column[T]) excludes(b int, lo, hi int64) bool {
 	return zok && (bmax < tlo || bmin > thi)
 }
 
+// frameBytes delegates to the reader's verified frame path, so frame-mode
+// streaming shares the reader's verification latch (in-memory) or the
+// registry's hot-block cache (file-backed) instead of re-reading and
+// re-hashing the payload per request.
 func (c *column[T]) frameBytes(b int) ([]byte, error) {
-	info, err := c.cr.BlockInfo(b)
-	if err != nil {
-		return nil, err
-	}
-	var buf []byte
-	if c.mem != nil {
-		if info.Offset+int64(info.Length) > int64(len(c.mem)) {
-			return nil, fmt.Errorf("%w: block %d escapes the container", zukowski.ErrCorruptColumn, b)
-		}
-		buf = c.mem[info.Offset : info.Offset+int64(info.Length)]
-	} else {
-		buf = make([]byte, info.Length)
-		if _, err := c.src.ReadAt(buf, info.Offset); err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", zukowski.ErrCorruptColumn, b, err)
-		}
-	}
-	if info.HasChecksum {
-		if got := crc32.Checksum(buf, castagnoli); got != info.CRC32C {
-			return nil, fmt.Errorf("%w: block %d payload (stored %08x, computed %08x)",
-				zukowski.ErrChecksumMismatch, b, info.CRC32C, got)
-		}
-	}
-	return buf, nil
+	return c.cr.FrameBytes(b)
+}
+
+func (c *column[T]) setCache(cache zukowski.BlockCache) {
+	c.cr.SetBlockCache(cache)
 }
 
 // elemWidth returns T's size in bytes without reflection on the hot path.
@@ -164,7 +146,7 @@ func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, si
 	if err != nil {
 		return nil, err
 	}
-	c := &column[T]{name: name, cr: cr, mem: mem, src: src}
+	c := &column[T]{name: name, cr: cr}
 	nb := cr.NumBlocks()
 	c.starts = make([]int64, nb)
 	c.counts = make([]int32, nb)
@@ -296,11 +278,73 @@ type Registry struct {
 	tables  map[string]*Table
 	names   []string
 	closers []io.Closer
+	cache   *zukowski.BlockLRU // shared hot-block cache, nil when disabled
+}
+
+// RegistryOption configures a Registry at construction.
+type RegistryOption func(*Registry)
+
+// WithCacheBytes enables the registry's shared hot-block cache with a
+// byte budget; see EnableCache. maxBytes <= 0 leaves the cache off.
+func WithCacheBytes(maxBytes int64) RegistryOption {
+	return func(r *Registry) { r.EnableCache(maxBytes) }
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{tables: map[string]*Table{}}
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{tables: map[string]*Table{}}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// EnableCache gives the registry one process-wide hot-block cache of at
+// most maxBytes of verified frame bytes, shared by every file-backed
+// column across all tables (in-memory columns are already resident and
+// ignore it). Columns registered before and after the call are both
+// wired up; under the immutable-container model the cache needs no
+// explicit invalidation. maxBytes <= 0 disables caching.
+func (r *Registry) EnableCache(maxBytes int64) {
+	if maxBytes <= 0 {
+		r.cache = nil
+	} else {
+		r.cache = zukowski.NewBlockLRU(maxBytes)
+	}
+	for _, t := range r.tables {
+		for _, c := range t.cols {
+			c.setCache(blockCacheOrNil(r.cache))
+		}
+	}
+}
+
+// blockCacheOrNil converts a possibly-nil *BlockLRU into the interface
+// without producing a non-nil interface around a nil pointer.
+func blockCacheOrNil(c *zukowski.BlockLRU) zukowski.BlockCache {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// CacheEnabled reports whether a hot-block cache is attached.
+func (r *Registry) CacheEnabled() bool { return r.cache != nil }
+
+// CacheCapacity returns the cache's byte budget, 0 when disabled.
+func (r *Registry) CacheCapacity() int64 {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.Capacity()
+}
+
+// CacheStats snapshots the shared cache's counters; the zero value when
+// the cache is disabled.
+func (r *Registry) CacheStats() zukowski.CacheStats {
+	if r.cache == nil {
+		return zukowski.CacheStats{}
+	}
+	return r.cache.Stats()
 }
 
 // Tables returns the registered table names, sorted.
@@ -337,6 +381,9 @@ func (r *Registry) addHandle(table string, h colHandle) error {
 	}
 	t.byName[h.colName()] = len(t.cols)
 	t.cols = append(t.cols, h)
+	if r.cache != nil {
+		h.setCache(r.cache)
+	}
 	return nil
 }
 
@@ -379,8 +426,8 @@ func (r *Registry) AddColumnFile(table, col, path string) error {
 // OpenDir builds a registry from a data directory: every subdirectory is
 // a table, every *.zkc file inside it a column named after the file.
 // A directory with no tables yields an empty registry, not an error.
-func OpenDir(dir string) (*Registry, error) {
-	r := NewRegistry()
+func OpenDir(dir string, opts ...RegistryOption) (*Registry, error) {
+	r := NewRegistry(opts...)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err

@@ -45,6 +45,11 @@ type Config struct {
 	// Defaults to GOMAXPROCS.
 	MaxWorkers int
 
+	// CacheBytes, when positive, enables the registry's shared hot-block
+	// cache with this byte budget (see Registry.EnableCache). Zero leaves
+	// the registry's existing cache configuration untouched.
+	CacheBytes int64
+
 	// Logger receives request logs; defaults to slog.Default.
 	Logger *slog.Logger
 }
@@ -89,10 +94,19 @@ type AggResponse struct {
 	ElapsedMS float64   `json:"elapsed_ms"`
 }
 
+// CacheInfo reports the hot-block cache configuration in /tables.
+type CacheInfo struct {
+	Enabled       bool  `json:"enabled"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Entries       int64 `json:"entries"`
+}
+
 // TablesResponse is the GET /tables capability listing.
 type TablesResponse struct {
 	Tables []TableMeta `json:"tables"`
 	Codecs []string    `json:"codecs"`
+	Cache  CacheInfo   `json:"cache"`
 }
 
 // Server serves scans over HTTP. Create with NewServer; it implements
@@ -118,6 +132,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
+	}
+	if cfg.CacheBytes > 0 && cfg.Registry != nil {
+		cfg.Registry.EnableCache(cfg.CacheBytes)
 	}
 	s := &Server{
 		cfg: cfg,
@@ -521,6 +538,15 @@ func (s *Server) runFrames(ctx context.Context, w http.ResponseWriter, plan *sca
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	resp := TablesResponse{Codecs: zukowski.Codecs()}
+	if s.reg.CacheEnabled() {
+		st := s.reg.CacheStats()
+		resp.Cache = CacheInfo{
+			Enabled:       true,
+			CapacityBytes: st.Capacity,
+			ResidentBytes: st.Bytes,
+			Entries:       st.Entries,
+		}
+	}
 	for _, name := range s.reg.Tables() {
 		t, err := s.reg.Table(name)
 		if err != nil {
@@ -542,4 +568,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w)
+	writeCacheProm(w, s.reg.CacheEnabled(), s.reg.CacheStats())
 }

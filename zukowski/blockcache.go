@@ -1,0 +1,241 @@
+package zukowski
+
+// The hot-block cache. The paper's decompression-bandwidth argument only
+// holds while the compressed bytes are already in RAM: a file-backed
+// column (OpenColumnReaderAt) re-reads and re-verifies every block from
+// its io.ReaderAt on every touch, so a scan-heavy workload over a warm
+// working set pays the read syscall, a fresh allocation and a CRC32-C
+// pass per block per scan — exactly the RAM-CPU gap the schemes exist to
+// close. A BlockCache keeps recently touched, checksum-verified frame
+// bytes resident under a byte budget, shared across every reader (and
+// therefore every column and table) attached to it. Under the
+// immutable-container model a cached frame can never go stale — the
+// writer never rewrites a closed container, and a replaced file is
+// served through a freshly opened reader whose cache keys differ — so
+// the only invalidation is eviction.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockCache is a store of verified raw block frames shared across
+// column readers. Keys are (col, block): col is a process-unique id a
+// reader acquires when the cache is attached (never reused, so entries
+// of a discarded reader simply age out), block the block index within
+// that reader's container.
+//
+// Implementations must be safe for concurrent use. The byte slices that
+// flow through a BlockCache are shared between the cache and every
+// caller: they must be treated as immutable by everyone, forever.
+//
+// BlockLRU is the standard implementation; the interface exists so a
+// process can substitute its own policy (clock, ghost lists, tiering)
+// without touching the reader.
+type BlockCache interface {
+	// Get returns the frame cached under (col, block), or nil.
+	Get(col uint64, block int) []byte
+	// Put offers a verified frame for caching under (col, block). The
+	// cache may decline (budget, size); Put never fails loudly.
+	Put(col uint64, block int, frame []byte)
+}
+
+// blockCacheIDs hands out the process-unique column ids SetBlockCache
+// assigns. Ids are never reused, which is what makes eviction the only
+// invalidation a cache needs.
+var blockCacheIDs atomic.Uint64
+
+// CacheStats is a point-in-time snapshot of a BlockLRU's counters.
+type CacheStats struct {
+	Hits      int64 // Get calls answered from the cache
+	Misses    int64 // Get calls that found nothing
+	Puts      int64 // frames accepted into the cache
+	Evictions int64 // frames evicted to stay under the byte budget
+
+	Bytes    int64 // resident payload + bookkeeping bytes right now
+	Entries  int64 // resident frames right now
+	Capacity int64 // configured byte budget
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any Get.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const (
+	// cacheShards spreads the cache over independently locked shards so
+	// concurrent scans of different blocks rarely contend. 16 is enough
+	// for the core counts this library targets; the shard is picked by a
+	// hash of the key, so co-resident columns spread evenly.
+	cacheShards = 16
+
+	// cacheEntryOverhead approximates the bookkeeping bytes an entry
+	// costs beyond its payload (map bucket share, entry struct, slice
+	// header), so the byte budget reflects real memory, not just frame
+	// bytes.
+	cacheEntryOverhead = 112
+)
+
+type cacheKey struct {
+	col   uint64
+	block int
+}
+
+// cacheEntry is one resident frame, linked into its shard's LRU list.
+type cacheEntry struct {
+	key        cacheKey
+	buf        []byte
+	prev, next *cacheEntry
+}
+
+// cacheShard is one lock's worth of the cache: a map for lookup and an
+// intrusive doubly-linked list for recency, most recent at head.next.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	head    cacheEntry // sentinel: head.next is MRU, head.prev is LRU
+	bytes   int64
+}
+
+func (sh *cacheShard) init() {
+	sh.entries = make(map[cacheKey]*cacheEntry)
+	sh.head.next = &sh.head
+	sh.head.prev = &sh.head
+}
+
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.next = sh.head.next
+	e.prev = &sh.head
+	e.next.prev = e
+	sh.head.next = e
+}
+
+// BlockLRU is a sharded, byte-bounded LRU BlockCache. One BlockLRU is
+// meant to be shared process-wide: attach it to every file-backed
+// reader (zkserve's registry does exactly that) and the budget bounds
+// the hot set across all of them together. All methods are safe for
+// concurrent use, and Get on a resident entry performs no allocation —
+// the cache stays off the scan path's allocation profile.
+type BlockLRU struct {
+	shards    [cacheShards]cacheShard
+	shardMax  int64 // byte budget per shard
+	capacity  int64 // configured total budget
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+// NewBlockLRU returns a cache bounded by maxBytes of resident frames
+// (payload plus per-entry bookkeeping). A frame larger than its shard's
+// share of the budget (maxBytes / 16) is declined rather than allowed
+// to thrash the shard. maxBytes <= 0 yields a cache that stores
+// nothing.
+func NewBlockLRU(maxBytes int64) *BlockLRU {
+	c := &BlockLRU{capacity: max(maxBytes, 0)}
+	c.shardMax = c.capacity / cacheShards
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c
+}
+
+// shardOf picks the shard for a key with a splitmix64-style finalizer,
+// so sequential block indices of one column spread across shards.
+func (c *BlockLRU) shardOf(k cacheKey) *cacheShard {
+	h := k.col ^ (uint64(k.block) * 0x9E3779B97F4A7C15)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the frame cached under (col, block), or nil, promoting a
+// hit to most-recently-used. The returned bytes are shared: read-only.
+func (c *BlockLRU) Get(col uint64, block int) []byte {
+	k := cacheKey{col: col, block: block}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
+	if e == nil {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+	buf := e.buf
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return buf
+}
+
+// Put inserts frame under (col, block), evicting least-recently-used
+// entries until the shard fits its budget again. An oversized frame is
+// declined; a duplicate key keeps the resident entry (the fill path is
+// singleflighted per block, so duplicates only arise from independent
+// readers over the same bytes, where either copy is equally valid).
+func (c *BlockLRU) Put(col uint64, block int, frame []byte) {
+	cost := int64(len(frame)) + cacheEntryOverhead
+	if cost > c.shardMax {
+		return
+	}
+	k := cacheKey{col: col, block: block}
+	sh := c.shardOf(k)
+	sh.mu.Lock()
+	if _, dup := sh.entries[k]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{key: k, buf: frame}
+	sh.entries[k] = e
+	sh.pushFront(e)
+	sh.bytes += cost
+	c.bytes.Add(cost)
+	c.entries.Add(1)
+	c.puts.Add(1)
+	var evicted int64
+	for sh.bytes > c.shardMax {
+		lru := sh.head.prev
+		sh.unlink(lru)
+		delete(sh.entries, lru.key)
+		freed := int64(len(lru.buf)) + cacheEntryOverhead
+		sh.bytes -= freed
+		c.bytes.Add(-freed)
+		c.entries.Add(-1)
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats returns a snapshot of the cache's counters and residency.
+func (c *BlockLRU) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Capacity returns the configured byte budget.
+func (c *BlockLRU) Capacity() int64 { return c.capacity }
+
+// Len returns the number of resident frames.
+func (c *BlockLRU) Len() int { return int(c.entries.Load()) }

@@ -393,6 +393,10 @@ type ColumnReader[T Integer] struct {
 	// slots holds the per-block concurrent state, indexed like blocks.
 	slots []blockSlot[T]
 
+	// cache, when attached, holds verified frame bytes for file-backed
+	// sources, keyed by a process-unique column id — see SetBlockCache.
+	cache atomic.Pointer[attachedCache]
+
 	// states pools per-worker decode scratch (*decodeState[T]). A scan
 	// holds one state for its whole pass, so steady-state sequential scans
 	// allocate nothing; parallel scans draw one state per in-flight block.
@@ -449,11 +453,27 @@ func (cr *ColumnReader[T]) getState() *decodeState[T] {
 
 func (cr *ColumnReader[T]) putState(st *decodeState[T]) { cr.states.Put(st) }
 
+// ReaderOption configures a ColumnReader beyond the required arguments.
+type ReaderOption func(*readerConfig)
+
+type readerConfig struct {
+	cache BlockCache
+}
+
+// WithBlockCache attaches a hot-block cache at open time; equivalent to
+// calling SetBlockCache on the opened reader. Only file-backed readers
+// (OpenColumnReaderAt) use the cache — an in-memory container is already
+// resident and latches its verification per block — so the option is a
+// no-op for OpenColumn.
+func WithBlockCache(c BlockCache) ReaderOption {
+	return func(rc *readerConfig) { rc.cache = c }
+}
+
 // OpenColumn parses a container produced by ColumnWriter, accepting both
 // the ZKC1 and ZKC2 formats. The bytes are retained (not copied); they
 // must stay immutable while the reader lives.
-func OpenColumn[T Integer](data []byte) (*ColumnReader[T], error) {
-	return openColumn[T](byteSource(data))
+func OpenColumn[T Integer](data []byte, opts ...ReaderOption) (*ColumnReader[T], error) {
+	return openColumn[T](byteSource(data), opts)
 }
 
 // OpenColumnReaderAt opens a container through an io.ReaderAt of the given
@@ -462,11 +482,15 @@ func OpenColumn[T Integer](data []byte) (*ColumnReader[T], error) {
 // a time, the way ColumnBM pages chunks through its buffer manager. The
 // ReaderAt must allow concurrent-safe reads at arbitrary offsets (os.File,
 // bytes.Reader and mmap wrappers all qualify).
-func OpenColumnReaderAt[T Integer](r io.ReaderAt, size int64) (*ColumnReader[T], error) {
-	return openColumn[T](&readerAtSource{r: r, n: size})
+//
+// Without a block cache every touch of a block re-reads and (for ZKC2)
+// re-verifies its bytes from the ReaderAt; WithBlockCache keeps the hot
+// working set resident — see BlockCache.
+func OpenColumnReaderAt[T Integer](r io.ReaderAt, size int64, opts ...ReaderOption) (*ColumnReader[T], error) {
+	return openColumn[T](&readerAtSource{r: r, n: size}, opts)
 }
 
-func openColumn[T Integer](src columnSource) (*ColumnReader[T], error) {
+func openColumn[T Integer](src columnSource, opts []ReaderOption) (*ColumnReader[T], error) {
 	size := src.size()
 	if size < columnHeaderSize+columnTailSizeV1 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptColumn, size)
@@ -558,6 +582,13 @@ func openColumn[T Integer](src columnSource) (*ColumnReader[T], error) {
 	if rows != cr.total {
 		return nil, fmt.Errorf("%w: directory counts %d values, tail says %d", ErrCorruptColumn, rows, cr.total)
 	}
+	var cfg readerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.cache != nil {
+		cr.SetBlockCache(cfg.cache)
+	}
 	// Detect the writer's uniform block size so Get can locate a row's
 	// block with one division: every block but the last must hold exactly
 	// the header's block size, and the last no more (a crafted directory
@@ -602,6 +633,34 @@ func (cr *ColumnReader[T]) Ratio() float64 {
 	return float64(cr.UncompressedBytes()) / float64(cr.src.size())
 }
 
+// attachedCache pairs a BlockCache with the column id this reader keys
+// it under; the pair swaps atomically so attachment is race-free.
+type attachedCache struct {
+	c  BlockCache
+	id uint64
+}
+
+// SetBlockCache attaches c as this reader's hot-block cache, or
+// detaches with nil. Only file-backed readers use a cache — in-memory
+// sources are already resident and latch their verification per block —
+// so the call is a no-op on a reader opened with OpenColumn.
+//
+// The reader keys the cache by a process-unique column id assigned at
+// attach time and never reused, so entries of a detached or discarded
+// reader can never be observed again; under the immutable-container
+// model a cached frame cannot go stale, only get evicted. Attaching is
+// safe at any time, including while scans run on other goroutines.
+func (cr *ColumnReader[T]) SetBlockCache(c BlockCache) {
+	if c == nil {
+		cr.cache.Store(nil)
+		return
+	}
+	if cr.src.stable() {
+		return
+	}
+	cr.cache.Store(&attachedCache{c: c, id: blockCacheIDs.Add(1)})
+}
+
 // checkCRC verifies buf against block b's stored payload CRC32-C.
 func checkCRC(buf []byte, want uint32, b int) error {
 	if got := crc32.Checksum(buf, castagnoli); got != want {
@@ -642,8 +701,28 @@ func (cr *ColumnReader[T]) viewVerified(b int) ([]byte, error) {
 // stable (in-memory) source the first verification is singleflighted under
 // the block's mutex and latched, so the block is hashed exactly once no
 // matter how many goroutines race to first touch; a ReaderAt source
-// re-reads bytes on every view, so every fetch is re-verified.
+// re-reads bytes on every view, so every fetch is re-verified — unless a
+// block cache is attached, in which case the fill (one read, one
+// verification) is singleflighted under the block's mutex and every hit
+// is served from the cache without touching the source or the hash.
 func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
+	if ac := cr.cache.Load(); ac != nil {
+		if buf := ac.c.Get(ac.id, b); buf != nil {
+			return buf, nil
+		}
+		slot := &cr.slots[b]
+		slot.mu.Lock()
+		defer slot.mu.Unlock()
+		if buf := ac.c.Get(ac.id, b); buf != nil {
+			return buf, nil
+		}
+		buf, err := cr.viewVerified(b)
+		if err != nil {
+			return nil, err // corrupt or unreadable blocks are never cached
+		}
+		ac.c.Put(ac.id, b, buf)
+		return buf, nil
+	}
 	if cr.version < FormatZKC2 || !cr.src.stable() {
 		return cr.viewVerified(b)
 	}
@@ -741,6 +820,20 @@ func (cr *ColumnReader[T]) readBlockInto(st *decodeState[T], b int, dst []T) ([]
 		return nil, fmt.Errorf("block %d: %w", b, err)
 	}
 	return out, nil
+}
+
+// FrameBytes returns block b's raw compressed frame bytes, verified
+// against the container's stored checksum when it has one (ZKC2). The
+// returned slice is shared — with the container bytes, with the block
+// cache, with other callers — and must be treated as read-only. This is
+// the block-granular serve path: a service that ships raw frames to
+// clients (zkserve's frame mode) reads them here, so an attached
+// BlockCache serves repeated requests without re-reading the source.
+func (cr *ColumnReader[T]) FrameBytes(b int) ([]byte, error) {
+	if b < 0 || b >= len(cr.blocks) {
+		return nil, fmt.Errorf("%w: block %d not in [0,%d)", ErrIndexOutOfRange, b, len(cr.blocks))
+	}
+	return cr.frame(b)
 }
 
 // ReadAll appends every value of the column to dst, pre-sized from the
@@ -872,7 +965,13 @@ func (cr *ColumnReader[T]) parseBlock(b int) (*parsedBlock[T], error) {
 	}
 	var frame []byte
 	var err error
-	if cr.src.stable() && slot.verified.Load() {
+	if ac := cr.cache.Load(); ac != nil {
+		if frame = ac.c.Get(ac.id, b); frame == nil {
+			if frame, err = cr.viewVerified(b); err == nil {
+				ac.c.Put(ac.id, b, frame)
+			}
+		}
+	} else if cr.src.stable() && slot.verified.Load() {
 		frame, err = cr.view(b)
 	} else {
 		frame, err = cr.viewVerified(b)

@@ -43,6 +43,22 @@
 // frames decode-then-filter with the same output contract, and warmed
 // sequential filtered scans allocate nothing.
 //
+// # Hot-block caching
+//
+// File-backed readers pay a read plus a CRC32-C verification per block
+// fetch. SetBlockCache attaches a BlockCache — typically a BlockLRU, a
+// sharded, byte-budgeted LRU over verified raw frames — under that
+// path: hits return the frame with zero allocations, a cold block
+// faulted by many goroutines is read and verified exactly once (the
+// fill rides the per-block parse slot), and corrupt blocks are never
+// admitted. Entries are keyed by a process-unique id assigned at
+// attach, so under immutable containers eviction is the only
+// invalidation. One BlockLRU may be shared by any number of readers;
+// in-memory readers ignore the cache (their frames are already
+// resident). FrameBytes exposes the same verified-raw-frame fetch the
+// cache accelerates, for callers that ship frames instead of decoding
+// them.
+//
 // # Multi-column predicates
 //
 // ColumnSet composes selection vectors across predicates and columns —
