@@ -15,7 +15,11 @@
 //	loadgen -url http://127.0.0.1:8080 -clients 1000 -mode mixed -format json
 //
 // With -require-ok the exit code is non-zero unless at least one scan
-// succeeded — the CI gate for "the service actually served".
+// succeeded — the CI gate for "the service actually served". -retry N
+// re-attempts 429/5xx responses with jittered backoff (honoring the
+// server's Retry-After), reporting retries separately from failures;
+// -skip-corrupt opts every query into degraded scans, whose lost rows
+// show up in the report rather than as errors.
 package main
 
 import (
@@ -43,6 +47,9 @@ type clientStats struct {
 	rejected    int64
 	failed      int64
 	truncated   int64
+	degraded    int64
+	retries     int64
+	rowsLost    int64
 	rows        int64
 	bytes       int64
 }
@@ -59,6 +66,9 @@ type Report struct {
 	Rejected   int64   `json:"rejected"` // 429 admission refusals
 	Failed     int64   `json:"failed"`
 	Truncated  int64   `json:"truncated"`
+	Degraded   int64   `json:"degraded"` // scans that completed but lost blocks
+	Retries    int64   `json:"retries"`  // extra attempts spent by -retry (not failures)
+	RowsLost   int64   `json:"rows_lost"`
 	Rows       int64   `json:"rows"`
 	Bytes      int64   `json:"bytes"`
 	QPS        float64 `json:"qps"`
@@ -93,6 +103,8 @@ func main() {
 		format    = flag.String("format", "text", "text or json")
 		requireOK = flag.Bool("require-ok", false, "exit non-zero unless at least one scan succeeded")
 		maxP99MS  = flag.Float64("max-p99-ms", 0, "exit non-zero if p99 latency exceeds this many ms (0 = no gate)")
+		retry     = flag.Int("retry", 0, "attempts per query on 429/5xx, honoring Retry-After (0/1 = no retries); retries report separately from failures")
+		skipBad   = flag.Bool("skip-corrupt", false, "request degraded scans: corrupt blocks are skipped server-side and reported as rows_lost")
 	)
 	flag.Parse()
 
@@ -149,11 +161,12 @@ func main() {
 			for k := 0; time.Now().Before(deadline); k++ {
 				sel := mix[k%len(mix)]
 				req := zkserve.ScanRequest{
-					Table:     meta.Name,
-					Cols:      cols,
-					MaxRows:   *maxRows,
-					TimeoutMS: *timeoutMS,
-					Workers:   *workers,
+					Table:       meta.Name,
+					Cols:        cols,
+					MaxRows:     *maxRows,
+					TimeoutMS:   *timeoutMS,
+					Workers:     *workers,
+					SkipCorrupt: *skipBad,
 				}
 				if predCol != "" {
 					lo, hi := predWindow(rng, predLo, predHi, sel)
@@ -171,15 +184,31 @@ func main() {
 					}
 				}
 				start := time.Now()
-				rows, bytes, truncated, err := runOne(ctx, cl, m, req, *decode)
+				var res oneResult
+				var err error
+				if *retry > 1 {
+					attempts, derr := client.DoWithRetry(ctx, client.RetryPolicy{MaxAttempts: *retry, BaseDelay: 5 * time.Millisecond}, func() error {
+						var oerr error
+						res, oerr = runOne(ctx, cl, m, req, *decode)
+						return oerr
+					})
+					st.retries += int64(attempts - 1)
+					err = derr
+				} else {
+					res, err = runOne(ctx, cl, m, req, *decode)
+				}
 				lat := time.Since(start)
 				switch {
 				case err == nil:
 					st.ok++
-					st.rows += rows
-					st.bytes += bytes
-					if truncated {
+					st.rows += res.rows
+					st.bytes += res.bytes
+					st.rowsLost += res.rowsLost
+					if res.truncated {
 						st.truncated++
+					}
+					if res.degraded {
+						st.degraded++
 					}
 					st.latenciesNs = append(st.latenciesNs, int64(lat))
 				case client.IsSaturated(err):
@@ -268,15 +297,28 @@ func scanMetric(line, name string, v *int64) bool {
 	return err == nil
 }
 
-func runOne(ctx context.Context, cl *client.Client, mode string, req zkserve.ScanRequest, decode bool) (rows, bytes int64, truncated bool, err error) {
+// oneResult is what one query contributed to the report.
+type oneResult struct {
+	rows, bytes, rowsLost int64
+	truncated, degraded   bool
+}
+
+func fromScan(res client.ScanResult) oneResult {
+	return oneResult{
+		rows: res.Rows, bytes: res.Bytes, rowsLost: res.RowsLost,
+		truncated: res.Truncated, degraded: res.Degraded,
+	}
+}
+
+func runOne(ctx context.Context, cl *client.Client, mode string, req zkserve.ScanRequest, decode bool) (oneResult, error) {
 	switch mode {
 	case "agg":
 		req.Agg = "all"
 		resp, err := cl.Aggregate(ctx, req)
 		if err != nil {
-			return 0, 0, false, err
+			return oneResult{}, err
 		}
-		return resp.Result.Count, 0, false, nil
+		return oneResult{rows: resp.Result.Count, rowsLost: resp.RowsLost, degraded: resp.Degraded}, nil
 	case "frames":
 		var dec zukowski.FrameDecoder[int64]
 		var buf []int64
@@ -293,10 +335,10 @@ func runOne(ctx context.Context, cl *client.Client, mode string, req zkserve.Sca
 			}
 			return true
 		})
-		return res.Rows, res.Bytes, res.Truncated, err
+		return fromScan(res), err
 	default:
 		res, err := cl.ScanRows(ctx, req, nil)
-		return res.Rows, res.Bytes, res.Truncated, err
+		return fromScan(res), err
 	}
 }
 
@@ -382,6 +424,9 @@ func merge(stats []clientStats, elapsed time.Duration) Report {
 		rep.Rejected += st.rejected
 		rep.Failed += st.failed
 		rep.Truncated += st.truncated
+		rep.Degraded += st.degraded
+		rep.Retries += st.retries
+		rep.RowsLost += st.rowsLost
 		rep.Rows += st.rows
 		rep.Bytes += st.bytes
 		lats = append(lats, st.latenciesNs...)
@@ -410,6 +455,10 @@ func printText(rep Report) {
 		rep.Clients, rep.URL, rep.Table, rep.Mode, rep.DurationS)
 	fmt.Printf("  requests   %d  (ok %d, rejected %d, failed %d, truncated %d)\n",
 		rep.Requests, rep.OK, rep.Rejected, rep.Failed, rep.Truncated)
+	if rep.Retries > 0 || rep.Degraded > 0 {
+		fmt.Printf("  resilience %d retries spent; %d scans degraded, %d rows lost to corrupt blocks\n",
+			rep.Retries, rep.Degraded, rep.RowsLost)
+	}
 	fmt.Printf("  throughput %.0f scans/s, %.0f rows/s, %.2f MB/s payload\n",
 		rep.QPS, rep.RowsPerSec, rep.MBPerSec)
 	fmt.Printf("  latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",

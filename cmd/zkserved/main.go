@@ -6,6 +6,13 @@
 // per-query row/byte/time budgets, Prometheus metrics and structured
 // request logs.
 //
+// Column reads retry transient I/O failures with jittered backoff
+// (-retry-attempts, -retry-base); blocks whose checksum mismatch
+// persists are quarantined and surface in /tables, /healthz and the
+// zkserve_blocks_quarantined metric. Clients can opt a scan into
+// degraded mode ("skip_corrupt": true) to skip quarantined or corrupt
+// blocks and get exact loss accounting in the stream trailer.
+//
 // SIGTERM or SIGINT starts a graceful drain: /healthz flips to 503 so
 // load balancers stop routing here, in-flight scans get -drain-grace to
 // finish, then the listener closes.
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -30,7 +38,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultio"
 	"repro/zkserve"
+	"repro/zukowski"
 )
 
 func main() {
@@ -47,6 +57,14 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 0, "hot-block cache byte budget shared across all tables (0 = off)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long in-flight scans get to finish on shutdown")
 		logLevelStr = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		// Fault-tolerance knobs. -chaos is a testing hook (hidden from the
+		// usage examples on purpose): it interposes a deterministic fault
+		// injector between every column reader and its file.
+		retryAttempts = flag.Int("retry-attempts", 3, "read attempts per block on transient I/O failure (<2 disables retries)")
+		retryBase     = flag.Duration("retry-base", time.Millisecond, "backoff before the first block-read retry (doubles per retry)")
+		chaos         = flag.String("chaos", "", "fault-injection schedule applied to every column file, e.g. 'transient,count=2;bitflip,off=4096,len=64' (testing only)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for probabilistic -chaos rules")
 	)
 	flag.Parse()
 
@@ -74,7 +92,28 @@ func main() {
 		}
 	}
 
-	reg, err := zkserve.OpenDir(*data)
+	var regOpts []zkserve.RegistryOption
+	if *retryAttempts > 1 {
+		regOpts = append(regOpts, zkserve.WithRetryPolicy(zukowski.RetryPolicy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+		}))
+	}
+	if *chaos != "" {
+		rules, err := faultio.ParseSchedule(*chaos)
+		if err != nil {
+			logger.Error("bad -chaos schedule", "err", err)
+			os.Exit(2)
+		}
+		logger.Warn("chaos mode: injecting faults into every column read", "schedule", *chaos, "seed", *chaosSeed)
+		seed := *chaosSeed
+		regOpts = append(regOpts, zkserve.WithSourceWrapper(func(r io.ReaderAt, size int64) io.ReaderAt {
+			seed++ // distinct schedule per column, deterministic per process
+			return faultio.NewReaderAt(r, seed, rules...)
+		}))
+	}
+
+	reg, err := zkserve.OpenDir(*data, regOpts...)
 	if err != nil {
 		logger.Error("opening data directory", "dir", *data, "err", err)
 		os.Exit(1)
@@ -100,6 +139,7 @@ func main() {
 		Logger:      logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
+	zkserve.Harden(hs)
 
 	done := make(chan error, 1)
 	go func() {

@@ -1,0 +1,298 @@
+// Package faultio wraps io.ReaderAt and io.Writer with deterministic,
+// seedable fault injection: transient and permanent read errors, short
+// reads, bit-flips and added latency, armed on chosen byte ranges with
+// optional firing counts and probabilities. The column reader's retry and
+// quarantine paths, the recovery fuzzer and zkserved's -chaos mode all
+// drive their storage through these wrappers, so the failure handling the
+// package tests is the failure handling production runs.
+//
+// Determinism matters for reproducing a failing schedule: the same seed
+// and rules against the same read sequence inject the same faults. The
+// wrappers serialize rule-state updates behind a mutex, so a wrapped
+// reader remains safe for the concurrent ReadAt use io.ReaderAt requires.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every injected read or write failure wraps;
+// tests distinguish injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Kind selects what a Rule does when it fires.
+type Kind int
+
+const (
+	// TransientErr fails the read with ErrInjected; bounded by Count, so a
+	// retrying reader eventually succeeds.
+	TransientErr Kind = iota
+	// PermanentErr fails the read with ErrInjected on every firing.
+	PermanentErr
+	// ShortRead returns only half the requested bytes plus ErrInjected.
+	ShortRead
+	// BitFlip serves the read but XORs the bytes overlapping the rule's
+	// range with the rule's mask — silent corruption, the case CRC32-C
+	// exists for.
+	BitFlip
+	// Latency sleeps Delay before serving the read.
+	Latency
+)
+
+var kindNames = [...]string{"transient", "permanent", "shortread", "bitflip", "latency"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Rule arms one fault on a byte range of the wrapped source.
+type Rule struct {
+	Kind Kind
+
+	// Off and Len bound the byte range [Off, Off+Len) the rule applies to;
+	// a read fires the rule only if it overlaps the range. Len <= 0 means
+	// everything from Off onward.
+	Off, Len int64
+
+	// Count caps how many times the rule fires; <= 0 means unlimited.
+	// PermanentErr and BitFlip typically run unlimited (the damage does
+	// not heal); TransientErr uses Count to model faults that retry away.
+	Count int
+
+	// Prob is the chance an overlapping read fires the rule; outside
+	// (0, 1) the rule always fires.
+	Prob float64
+
+	// Delay is the sleep of a Latency rule.
+	Delay time.Duration
+
+	// Mask is the XOR applied by a BitFlip rule; 0 defaults to 0x01.
+	Mask byte
+}
+
+// overlaps reports whether the read [off, off+n) intersects the rule range.
+func (r *Rule) overlaps(off, n int64) bool {
+	if n <= 0 || off+n <= r.Off {
+		return false
+	}
+	return r.Len <= 0 || off < r.Off+r.Len
+}
+
+// Stats counts what a wrapper has done, by rule kind.
+type Stats struct {
+	Reads    int64
+	Injected [len(kindNames)]int64
+}
+
+// ReaderAt injects faults into an io.ReaderAt according to its rules.
+type ReaderAt struct {
+	r io.ReaderAt
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []rule
+	stats Stats
+}
+
+// rule is a Rule plus its mutable remaining-count state. remaining < 0
+// means unlimited; 0 means exhausted.
+type rule struct {
+	Rule
+	remaining int
+}
+
+// NewReaderAt wraps r. Rules are evaluated in order on every ReadAt; the
+// first non-latency rule that fires decides the outcome (Latency rules
+// sleep and let evaluation continue). seed drives the probabilistic rules.
+func NewReaderAt(r io.ReaderAt, seed int64, rules ...Rule) *ReaderAt {
+	f := &ReaderAt{r: r, rng: rand.New(rand.NewSource(seed))}
+	for _, rl := range rules {
+		rem := rl.Count
+		if rem <= 0 {
+			rem = -1
+		}
+		f.rules = append(f.rules, rule{Rule: rl, remaining: rem})
+	}
+	return f
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n := int64(len(p))
+	var sleep time.Duration
+	var hit *rule
+
+	f.mu.Lock()
+	f.stats.Reads++
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.remaining == 0 || !r.overlaps(off, n) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && f.rng.Float64() >= r.Prob {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		f.stats.Injected[r.Kind]++
+		if r.Kind == Latency {
+			sleep += r.Delay
+			continue
+		}
+		hit = r
+		break
+	}
+	var verdict Rule
+	if hit != nil {
+		verdict = hit.Rule
+	}
+	f.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if hit == nil {
+		return f.r.ReadAt(p, off)
+	}
+	switch verdict.Kind {
+	case TransientErr, PermanentErr:
+		return 0, fmt.Errorf("%w: %s read of [%d,%d)", ErrInjected, verdict.Kind, off, off+n)
+	case ShortRead:
+		k, err := f.r.ReadAt(p[:len(p)/2], off)
+		if err == nil {
+			err = fmt.Errorf("%w: short read of [%d,%d)", ErrInjected, off, off+n)
+		}
+		return k, err
+	case BitFlip:
+		k, err := f.r.ReadAt(p, off)
+		mask := verdict.Mask
+		if mask == 0 {
+			mask = 0x01
+		}
+		lo, hi := verdict.Off, verdict.Off+verdict.Len
+		if verdict.Len <= 0 {
+			hi = off + int64(k)
+		}
+		lo, hi = max(lo, off), min(hi, off+int64(k))
+		for i := lo; i < hi; i++ {
+			p[i-off] ^= mask
+		}
+		return k, err
+	}
+	return f.r.ReadAt(p, off)
+}
+
+// Stats returns a snapshot of the injection counters.
+func (f *ReaderAt) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Writer injects a write failure after a byte budget: writes succeed until
+// FailAfter bytes have passed through, then every write fails with
+// ErrInjected (the first failing write may be partial). It models a torn
+// write — process death or ENOSPC mid-container — for crash-safety tests.
+type Writer struct {
+	W         io.Writer
+	FailAfter int64
+
+	written int64
+	failed  bool
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.failed {
+		return 0, fmt.Errorf("%w: write after failure", ErrInjected)
+	}
+	if w.written+int64(len(p)) <= w.FailAfter {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	keep := max(int(w.FailAfter-w.written), 0)
+	n, err := w.W.Write(p[:keep])
+	w.written += int64(n)
+	w.failed = true
+	if err == nil {
+		err = fmt.Errorf("%w: torn write after %d bytes", ErrInjected, w.written)
+	}
+	return n, err
+}
+
+// ParseSchedule parses a fault schedule of the form
+//
+//	kind[,key=value...][;kind[,key=value...]...]
+//
+// into rules. Kinds are transient, permanent, shortread, bitflip and
+// latency; keys are off, len, count, prob, delay (Go duration) and mask
+// (hex or decimal byte). Example:
+//
+//	transient,count=2,prob=0.05;bitflip,off=16,len=64
+func ParseSchedule(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, ent := range strings.Split(s, ";") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		fields := strings.Split(ent, ",")
+		var r Rule
+		kind := strings.TrimSpace(fields[0])
+		found := false
+		for k, name := range kindNames {
+			if kind == name {
+				r.Kind = Kind(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faultio: unknown fault kind %q", kind)
+		}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultio: want key=value, got %q", f)
+			}
+			var err error
+			switch key {
+			case "off":
+				r.Off, err = strconv.ParseInt(val, 10, 64)
+			case "len":
+				r.Len, err = strconv.ParseInt(val, 10, 64)
+			case "count":
+				var c int64
+				c, err = strconv.ParseInt(val, 10, 32)
+				r.Count = int(c)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			case "mask":
+				var m uint64
+				m, err = strconv.ParseUint(val, 0, 8)
+				r.Mask = byte(m)
+			default:
+				return nil, fmt.Errorf("faultio: unknown schedule key %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultio: bad %s value %q: %w", key, val, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

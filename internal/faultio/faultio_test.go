@@ -1,0 +1,218 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func source() (*bytes.Reader, []byte) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return bytes.NewReader(data), data
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	r, data := source()
+	f := NewReaderAt(r, 1)
+	got := make([]byte, 64)
+	n, err := f.ReadAt(got, 32)
+	if err != nil || n != 64 || !bytes.Equal(got, data[32:96]) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if st := f.Stats(); st.Reads != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestTransientCountAndRange(t *testing.T) {
+	r, data := source()
+	f := NewReaderAt(r, 1, Rule{Kind: TransientErr, Off: 100, Len: 10, Count: 2})
+	buf := make([]byte, 8)
+
+	// Outside the armed range: never fails.
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping reads fail exactly Count times, then heal.
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(buf, 96); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := f.ReadAt(buf, 96); err != nil {
+		t.Fatalf("read after count exhausted: %v", err)
+	}
+	if !bytes.Equal(buf, data[96:104]) {
+		t.Fatal("healed read returned wrong bytes")
+	}
+	if st := f.Stats(); st.Injected[TransientErr] != 2 || st.Reads != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestPermanentNeverHeals(t *testing.T) {
+	r, _ := source()
+	f := NewReaderAt(r, 1, Rule{Kind: PermanentErr, Off: 0})
+	for i := 0; i < 5; i++ {
+		if _, err := f.ReadAt(make([]byte, 4), int64(i)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d err = %v", i, err)
+		}
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	r, data := source()
+	f := NewReaderAt(r, 1, Rule{Kind: ShortRead, Count: 1})
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if !errors.Is(err, ErrInjected) || n != 5 {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:5], data[:5]) {
+		t.Fatal("short read bytes wrong")
+	}
+}
+
+func TestBitFlipRange(t *testing.T) {
+	r, data := source()
+	f := NewReaderAt(r, 1, Rule{Kind: BitFlip, Off: 10, Len: 4, Mask: 0xFF})
+	buf := make([]byte, 20)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		want := data[i]
+		if i >= 10 && i < 14 {
+			want ^= 0xFF
+		}
+		if buf[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, buf[i], want)
+		}
+	}
+	// A read entirely outside the flip range is untouched.
+	if _, err := f.ReadAt(buf[:4], 20); err != nil || !bytes.Equal(buf[:4], data[20:24]) {
+		t.Fatalf("clean range read corrupted: %v", err)
+	}
+}
+
+func TestLatencyAccumulatesAndContinues(t *testing.T) {
+	r, _ := source()
+	f := NewReaderAt(r, 1,
+		Rule{Kind: Latency, Delay: 5 * time.Millisecond},
+		Rule{Kind: TransientErr, Count: 1})
+	start := time.Now()
+	_, err := f.ReadAt(make([]byte, 4), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("latency swallowed the transient rule: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("latency rule did not sleep")
+	}
+}
+
+func TestProbSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		r, _ := source()
+		f := NewReaderAt(r, seed, Rule{Kind: TransientErr, Prob: 0.5})
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, err := f.ReadAt(make([]byte, 4), 0)
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different schedule")
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 50-read schedules")
+	}
+}
+
+func TestWriterTearsAtBudget(t *testing.T) {
+	var out bytes.Buffer
+	w := &Writer{W: &out, FailAfter: 10}
+	if n, err := w.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	n, err := w.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if out.String() != "12345678ab" {
+		t.Fatalf("output %q", out.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after failure err = %v", err)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := ParseSchedule("transient,count=2,prob=0.05; bitflip,off=16,len=64,mask=0x80 ;latency,delay=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Kind: TransientErr, Count: 2, Prob: 0.05},
+		{Kind: BitFlip, Off: 16, Len: 64, Mask: 0x80},
+		{Kind: Latency, Delay: 2 * time.Millisecond},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{"explode", "transient,count", "transient,count=x", "transient,frequency=1"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+	if rules, err := ParseSchedule(""); err != nil || len(rules) != 0 {
+		t.Fatalf("empty schedule = %v, %v", rules, err)
+	}
+}
+
+func TestConcurrentReadAt(t *testing.T) {
+	r, _ := source()
+	f := NewReaderAt(r, 1,
+		Rule{Kind: TransientErr, Count: 10, Prob: 0.3},
+		Rule{Kind: BitFlip, Off: 50, Len: 10})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			buf := make([]byte, 16)
+			for i := 0; i < 200; i++ {
+				f.ReadAt(buf, int64(i%240))
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if st := f.Stats(); st.Reads != 800 {
+		t.Fatalf("Reads = %d", st.Reads)
+	}
+}
+
+var _ io.ReaderAt = (*ReaderAt)(nil)
+var _ io.Writer = (*Writer)(nil)

@@ -284,6 +284,71 @@ func IsCompressed(buf []byte) bool {
 	return len(buf) >= 2 && buf[0] == magic && core.Scheme(buf[1]) != core.SchemeNone
 }
 
+// FrameSize returns the total byte length of the segment frame starting at
+// buf[0], derived from the header alone — buf may extend past the frame or
+// stop short of it. Every section length is a function of the header
+// fields, which is what lets a recovery pass walk back-to-back frames with
+// no directory to consult. The header is validated with the same structural
+// checks unmarshalInto applies, but the payload itself is not: callers
+// salvaging untrusted bytes must still decode the full frame before
+// believing it.
+func FrameSize(buf []byte) (int, error) {
+	if len(buf) < 8 {
+		return 0, ErrTooShort
+	}
+	if buf[0] != magic {
+		return 0, ErrBadMagic
+	}
+	scheme := core.Scheme(buf[1])
+	if scheme == core.SchemeNone {
+		elem := int(buf[2])
+		if elem != 1 && elem != 2 && elem != 4 && elem != 8 {
+			return 0, ErrCorrupt
+		}
+		n := int(binary.LittleEndian.Uint32(buf[4:]))
+		if n > core.MaxBlockValues {
+			return 0, ErrCorrupt
+		}
+		return 8 + n*elem, nil
+	}
+	switch scheme {
+	case core.SchemePFOR, core.SchemePFORDelta, core.SchemePDict:
+	default:
+		return 0, ErrBadScheme
+	}
+	if len(buf) < headerSize {
+		return 0, ErrTooShort
+	}
+	b := uint(buf[2])
+	elem := int(buf[3])
+	if elem != 1 && elem != 2 && elem != 4 && elem != 8 {
+		return 0, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	dictLen := int(binary.LittleEndian.Uint32(buf[24:]))
+	excCount := int(binary.LittleEndian.Uint32(buf[28:]))
+	codeWords := int(binary.LittleEndian.Uint32(buf[32:]))
+	flags := binary.LittleEndian.Uint32(buf[36:])
+	if b < 1 || b > 32 || b > uint(elem)*8 || n < 0 || n > core.MaxBlockValues || excCount < 0 || excCount > n {
+		return 0, ErrCorrupt
+	}
+	if codeWords != (n*int(b)+31)/32 {
+		return 0, ErrCorrupt
+	}
+	if dictLen < 0 || (scheme == core.SchemePDict) != (dictLen > 0) {
+		return 0, ErrCorrupt
+	}
+	if scheme == core.SchemePDict && (b > core.MaxDictBits || dictLen > 1<<b) {
+		return 0, ErrCorrupt
+	}
+	numGroups := (n + core.GroupSize - 1) / core.GroupSize
+	numTotals := 0
+	if flags&1 != 0 {
+		numTotals = numGroups
+	}
+	return headerSize + numGroups*4 + dictLen*elem + numTotals*elem + codeWords*4 + excCount*elem, nil
+}
+
 func elemSize[T core.Integer]() int {
 	var v T
 	switch any(v).(type) {

@@ -1,8 +1,9 @@
 // Package client is a small typed client for a zkserve server: request
 // marshalling, NDJSON row-stream and binary frame-stream decoding, and
 // status-code mapping. It exists for cmd/loadgen and the integration
-// tests; it is deliberately thin — one HTTP round trip per call, no
-// retries (the server's 429 Retry-After is surfaced, not obeyed).
+// tests; it is deliberately thin — one HTTP round trip per call, and no
+// retries unless the caller opts in via DoWithRetry (which honors the
+// server's 429 Retry-After hint with jittered exponential backoff).
 package client
 
 import (
@@ -13,8 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // repro/zkserve is imported for the shared wire types (ScanRequest,
@@ -38,10 +42,101 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Msg)
 }
 
+// RetryAfterDuration parses the response's Retry-After hint as a wait
+// duration. Both RFC 9110 forms are understood — delay-seconds and an
+// HTTP-date — and ok is false when the header was absent or malformed.
+// A date in the past yields zero (retry immediately), never negative.
+func (e *StatusError) RetryAfterDuration() (time.Duration, bool) {
+	s := strings.TrimSpace(e.RetryAfter)
+	if s == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(s); err == nil {
+		return max(time.Until(at), 0), true
+	}
+	return 0, false
+}
+
 // IsSaturated reports whether err is a 429 admission refusal.
 func IsSaturated(err error) bool {
 	var se *StatusError
 	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}
+
+// retryableStatus reports whether a StatusError is worth retrying: 429
+// admission refusals and 5xx server errors. 4xx client errors would fail
+// identically on every attempt.
+func retryableStatus(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == http.StatusTooManyRequests || se.Code >= 500
+}
+
+// RetryPolicy bounds DoWithRetry. The zero value means one attempt (no
+// retries), keeping retry behavior strictly opt-in.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first;
+	// values below 2 disable retries.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry, doubling per retry;
+	// 0 defaults to 50ms. A server Retry-After hint longer than the
+	// computed backoff is honored instead.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the backoff; 0 defaults to 2s.
+	MaxDelay time.Duration
+}
+
+// DoWithRetry runs op until it succeeds, fails terminally, exhausts
+// p.MaxAttempts, or ctx dies. Only saturation (429) and 5xx server
+// errors are retried — everything else is the caller's problem on the
+// first attempt. Waits honor the server's Retry-After hint when it is
+// longer than the exponential backoff, and jitter uniformly in [d/2, d]
+// so a rejected fleet does not return in lockstep. The attempts return
+// value counts completed attempts, letting callers report retries
+// separately from failures.
+func DoWithRetry(ctx context.Context, p RetryPolicy, op func() error) (attempts int, err error) {
+	maxAtt := p.MaxAttempts
+	if maxAtt < 1 {
+		maxAtt = 1
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	for {
+		attempts++
+		err = op()
+		if err == nil || attempts >= maxAtt || !retryableStatus(err) {
+			return attempts, err
+		}
+		d := min(base<<(attempts-1), maxd)
+		var se *StatusError
+		if errors.As(err, &se) {
+			if hint, ok := se.RetryAfterDuration(); ok && hint > d {
+				d = min(hint, maxd)
+			}
+		}
+		d = d/2 + rand.N(d/2+1)
+		select {
+		case <-ctx.Done():
+			return attempts, err
+		case <-time.After(d):
+		}
+	}
 }
 
 // Client talks to one zkserve server.
@@ -126,16 +221,25 @@ type ScanResult struct {
 	Reason    string  // "rows" or "bytes" when truncated
 	ElapsedMS float64 // server-side scan time (row mode only)
 	Bytes     int64   // response payload bytes read by this client
+
+	// Degraded accounting for skip_corrupt scans: the blocks the server
+	// dropped for corruption and the rows they held.
+	Degraded      bool
+	BlocksSkipped int64
+	RowsLost      int64
 }
 
 // rowTrailer mirrors the NDJSON stream's closing object.
 type rowTrailer struct {
-	Done      bool    `json:"done"`
-	Rows      int64   `json:"rows"`
-	Truncated bool    `json:"truncated"`
-	Reason    string  `json:"reason"`
-	Error     string  `json:"error"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Done          bool    `json:"done"`
+	Rows          int64   `json:"rows"`
+	Truncated     bool    `json:"truncated"`
+	Reason        string  `json:"reason"`
+	Error         string  `json:"error"`
+	Degraded      bool    `json:"degraded"`
+	BlocksSkipped int64   `json:"blocks_skipped"`
+	RowsLost      int64   `json:"rows_lost"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
 }
 
 type countingReader struct {
@@ -197,6 +301,9 @@ func (c *Client) ScanRows(ctx context.Context, req zkserve.ScanRequest, fn func(
 		res.Truncated = t.Truncated
 		res.Reason = t.Reason
 		res.ElapsedMS = t.ElapsedMS
+		res.Degraded = t.Degraded
+		res.BlocksSkipped = t.BlocksSkipped
+		res.RowsLost = t.RowsLost
 		res.Bytes = cr.n
 		if !t.Done {
 			return res, fmt.Errorf("%w: %s", ErrScanFailed, t.Error)
@@ -271,6 +378,9 @@ func (c *Client) ScanFrames(ctx context.Context, req zkserve.ScanRequest, fn fun
 	t := fr.Trailer()
 	res.Rows = t.Rows
 	res.Truncated = t.Status == zkserve.FrameStatusTruncated
+	res.Degraded = t.Degraded()
+	res.BlocksSkipped = t.BlocksSkipped
+	res.RowsLost = t.RowsLost
 	res.Bytes = cr.n
 	if t.Status == zkserve.FrameStatusError {
 		return res, fmt.Errorf("%w: %s", ErrScanFailed, t.Err)

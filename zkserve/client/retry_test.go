@@ -1,0 +1,119 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterDuration(t *testing.T) {
+	httpDate := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	pastDate := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	cases := []struct {
+		in     string
+		ok     bool
+		lo, hi time.Duration
+	}{
+		{"", false, 0, 0},
+		{"  ", false, 0, 0},
+		{"3", true, 3 * time.Second, 3 * time.Second},
+		{" 10 ", true, 10 * time.Second, 10 * time.Second},
+		{"-1", false, 0, 0},
+		{"soon", false, 0, 0},
+		{httpDate, true, 80 * time.Second, 91 * time.Second},
+		{pastDate, true, 0, 0}, // expired hint clamps to zero, not negative
+	}
+	for _, c := range cases {
+		se := &StatusError{Code: 429, RetryAfter: c.in}
+		d, ok := se.RetryAfterDuration()
+		if ok != c.ok {
+			t.Errorf("RetryAfterDuration(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (d < c.lo || d > c.hi) {
+			t.Errorf("RetryAfterDuration(%q) = %v, want in [%v, %v]", c.in, d, c.lo, c.hi)
+		}
+	}
+}
+
+func TestDoWithRetryRecovers(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	attempts, err := DoWithRetry(context.Background(), p, func() error {
+		calls++
+		if calls < 3 {
+			return &StatusError{Code: http.StatusTooManyRequests, Msg: "busy"}
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want success on attempt 3", attempts, calls, err)
+	}
+}
+
+func TestDoWithRetryExhausts(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	attempts, err := DoWithRetry(context.Background(), p, func() error {
+		calls++
+		return &StatusError{Code: http.StatusServiceUnavailable}
+	})
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3", attempts, calls)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want last StatusError", err)
+	}
+}
+
+func TestDoWithRetryDoesNotRetryClientErrors(t *testing.T) {
+	calls := 0
+	_, err := DoWithRetry(context.Background(), RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return &StatusError{Code: http.StatusBadRequest, Msg: "bad predicate"}
+	})
+	if calls != 1 {
+		t.Fatalf("a 400 was retried: %d calls", calls)
+	}
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+
+	// Non-StatusError failures (transport, parse) are not retried either:
+	// the request may have partially executed.
+	calls = 0
+	sentinel := errors.New("conn reset")
+	_, err = DoWithRetry(context.Background(), RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return sentinel
+	})
+	if calls != 1 || !errors.Is(err, sentinel) {
+		t.Fatalf("calls=%d err=%v, want 1 call with sentinel", calls, err)
+	}
+}
+
+func TestDoWithRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	start := time.Now()
+	// Long BaseDelay: the only way this returns fast is the ctx branch.
+	// The last attempt's error comes back (more informative than ctx.Err).
+	_, err := DoWithRetry(ctx, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour}, func() error {
+		calls++
+		return &StatusError{Code: http.StatusTooManyRequests}
+	})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want the attempt's StatusError", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead context did not cut the backoff: waited %v", elapsed)
+	}
+}

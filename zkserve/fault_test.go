@@ -1,0 +1,267 @@
+package zkserve_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/zkserve"
+	"repro/zkserve/client"
+	"repro/zukowski"
+)
+
+// faultBlock is the block the fault tests damage; its rows are
+// [faultBlock*testBV, (faultBlock+1)*testBV).
+const faultBlock = 5
+
+// newFaultyRegistry writes table "t" (c0 = row number, c1 = c1Val) to
+// disk, flips one payload byte in block faultBlock of c1, and registers
+// the files with opts. File-backed on purpose: only the ReaderAt path
+// exercises retries and quarantine.
+func newFaultyRegistry(t *testing.T, opts ...zkserve.RegistryOption) *zkserve.Registry {
+	t.Helper()
+	c0 := make([]int64, testRows)
+	c1 := make([]int64, testRows)
+	for i := range c0 {
+		c0[i] = int64(i)
+		c1[i] = c1Val(int64(i))
+	}
+	dir := t.TempDir()
+	reg := zkserve.NewRegistry(opts...)
+	for col, vals := range map[string][]int64{"c0": c0, "c1": c1} {
+		data := encodeCol(t, vals, testBV)
+		if col == "c1" {
+			cr, err := zukowski.OpenColumn[int64](data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := cr.BlockInfo(faultBlock)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[int(info.Offset)+info.Length/2] ^= 0x20
+		}
+		path := filepath.Join(dir, col+".zkc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.AddColumnFile("t", col, path); err != nil {
+			t.Fatalf("AddColumnFile(%s): %v", col, err)
+		}
+	}
+	t.Cleanup(func() { reg.Close() })
+	return reg
+}
+
+// TestDegradedScanEndToEnd drives the whole corruption story over HTTP:
+// an exact scan touching the bad block fails mid-stream, a skip_corrupt
+// scan completes with exact loss accounting and correct surviving rows,
+// and the quarantine latched by the failures surfaces in /tables,
+// /healthz and /metrics.
+func TestDegradedScanEndToEnd(t *testing.T) {
+	reg := newFaultyRegistry(t)
+	_, ts, cl := newTestServer(t, zkserve.Config{Registry: reg})
+	ctx := context.Background()
+	req := zkserve.ScanRequest{Table: "t", Cols: []string{"c0", "c1"}}
+
+	// Exact contract first: the corruption kills the scan in-band.
+	if _, err := cl.ScanRows(ctx, req, nil); !errors.Is(err, client.ErrScanFailed) {
+		t.Fatalf("exact scan err = %v, want ErrScanFailed", err)
+	}
+
+	// Degraded: every row outside the damaged block arrives, losses are
+	// accounted exactly, and values still match the oracle.
+	req.SkipCorrupt = true
+	var got int64
+	res, err := cl.ScanRows(ctx, req, func(row int64, vals []int64) bool {
+		if row >= faultBlock*testBV && row < (faultBlock+1)*testBV {
+			t.Fatalf("row %d from the corrupt block was delivered", row)
+		}
+		if vals[0] != row || vals[1] != c1Val(row) {
+			t.Fatalf("row %d: got %v", row, vals)
+		}
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("degraded scan: %v", err)
+	}
+	if !res.Degraded || res.BlocksSkipped != 1 || res.RowsLost != testBV {
+		t.Fatalf("result = %+v, want 1 block / %d rows lost", res, testBV)
+	}
+	if got != testRows-testBV || res.Rows != got {
+		t.Fatalf("delivered %d rows (trailer %d), want %d", got, res.Rows, testRows-testBV)
+	}
+
+	// The mismatching block is now quarantined: capability listing and
+	// health endpoint both say degraded, while the status stays 200.
+	tables, err := cl.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := tables.Tables[0]
+	if !meta.Degraded {
+		t.Fatalf("table meta not degraded: %+v", meta)
+	}
+	for _, cm := range meta.Columns {
+		want := 0
+		if cm.Name == "c1" {
+			want = 1
+		}
+		if cm.QuarantinedBlocks != want {
+			t.Fatalf("column %s quarantined_blocks = %d, want %d", cm.Name, cm.QuarantinedBlocks, want)
+		}
+	}
+	body := httpGet(t, ts.URL+"/healthz")
+	if !strings.Contains(body, "degraded") {
+		t.Fatalf("healthz body = %q, want degraded", body)
+	}
+	metrics := httpGet(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"zkserve_blocks_quarantined 1",
+		"zkserve_scans_degraded_total 1",
+		"zkserve_blocks_skipped_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDegradedAggregateAndFrames checks the two other response shapes
+// carry the same loss accounting: aggregate responses and the v2 frame
+// stream trailer.
+func TestDegradedAggregateAndFrames(t *testing.T) {
+	reg := newFaultyRegistry(t)
+	_, _, cl := newTestServer(t, zkserve.Config{Registry: reg})
+	ctx := context.Background()
+
+	agg, err := cl.Aggregate(ctx, zkserve.ScanRequest{
+		Table: "t", Cols: []string{"c0"}, Agg: "all", AggCol: "c1", SkipCorrupt: true,
+	})
+	if err != nil {
+		t.Fatalf("degraded aggregate: %v", err)
+	}
+	if !agg.Degraded || agg.BlocksSkipped != 1 || agg.RowsLost != testBV {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if agg.Result.Count != testRows-testBV {
+		t.Fatalf("count = %d, want %d", agg.Result.Count, testRows-testBV)
+	}
+
+	// Frame mode without skip fails in-band.
+	req := zkserve.ScanRequest{Table: "t", Cols: []string{"c1"}}
+	if _, err := cl.ScanFrames(ctx, req, nil); !errors.Is(err, client.ErrScanFailed) {
+		t.Fatalf("exact frame scan err = %v", err)
+	}
+	// With skip the corrupt block is dropped and accounted in the trailer;
+	// everything that ships still decodes.
+	req.SkipCorrupt = true
+	var dec zukowski.FrameDecoder[int64]
+	var buf []int64
+	shipped := 0
+	res, err := cl.ScanFrames(ctx, req, func(cols []zkserve.FrameStreamCol, blk *zkserve.FrameBlock) bool {
+		if blk.Index == faultBlock {
+			t.Fatal("corrupt block was shipped")
+		}
+		out, derr := dec.Decode(buf[:0], blk.Frames[0])
+		if derr != nil {
+			t.Fatalf("block %d frame does not decode: %v", blk.Index, derr)
+		}
+		buf = out
+		shipped++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("degraded frame scan: %v", err)
+	}
+	if !res.Degraded || res.BlocksSkipped != 1 || res.RowsLost != testBV {
+		t.Fatalf("frame result = %+v", res)
+	}
+	if wantBlocks := testRows/testBV - 1; shipped != wantBlocks {
+		t.Fatalf("shipped %d blocks, want %d", shipped, wantBlocks)
+	}
+	if res.Rows != testRows-testBV {
+		t.Fatalf("trailer rows = %d, want %d", res.Rows, testRows-testBV)
+	}
+}
+
+// TestRegistryRetryPolicy: a column file whose source injects two
+// transient faults per armed range serves cleanly when the registry opens
+// readers with a 3-attempt retry policy — zero failed scans, nothing
+// quarantined.
+func TestRegistryRetryPolicy(t *testing.T) {
+	vals := make([]int64, testRows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	data := encodeCol(t, vals, testBV)
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cr.BlockInfo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c0.zkc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var injected *faultio.ReaderAt
+	reg := zkserve.NewRegistry(
+		zkserve.WithRetryPolicy(zukowski.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}),
+		zkserve.WithSourceWrapper(func(r io.ReaderAt, size int64) io.ReaderAt {
+			// Arm the faults on one block's payload so the open-time header
+			// and footer reads stay clean.
+			injected = faultio.NewReaderAt(r, 1, faultio.Rule{
+				Kind: faultio.TransientErr, Off: int64(info.Offset), Len: int64(info.Length), Count: 2,
+			})
+			return injected
+		}),
+	)
+	if err := reg.AddColumnFile("t", "c0", path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+
+	_, _, cl := newTestServer(t, zkserve.Config{Registry: reg})
+	res, err := cl.ScanRows(context.Background(), zkserve.ScanRequest{Table: "t", Cols: []string{"c0"}}, nil)
+	if err != nil {
+		t.Fatalf("scan through transient faults: %v", err)
+	}
+	if res.Rows != testRows || res.Degraded {
+		t.Fatalf("result = %+v, want all %d rows, not degraded", res, testRows)
+	}
+	if st := injected.Stats(); st.Injected[faultio.TransientErr] != 2 {
+		t.Fatalf("injected %d transient faults, want 2", st.Injected[faultio.TransientErr])
+	}
+	if n := reg.QuarantinedBlocks(); n != 0 {
+		t.Fatalf("%d blocks quarantined after transient-only faults", n)
+	}
+}

@@ -55,30 +55,12 @@ func GenerateTable(dir string, spec TableSpec) error {
 		} else {
 			vals = experiments.SynthPFOR(rng, spec.Rows, 10, 0.02)
 		}
-		if err := writeColumn(filepath.Join(tdir, fmt.Sprintf("c%d.zkc", c)), vals, codec, spec.BlockValues); err != nil {
+		// Atomic writes keep a crashed or killed generator from leaving a
+		// torn container that the next OpenDir refuses to serve.
+		path := filepath.Join(tdir, fmt.Sprintf("c%d.zkc", c))
+		if err := zukowski.WriteColumnAtomic(path, codec, spec.BlockValues, vals); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func writeColumn(path string, vals []int64, codec zukowski.Codec[int64], blockValues int) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	cw, err := zukowski.NewColumnWriter[int64](f, codec, blockValues)
-	if err != nil {
-		f.Close()
-		return err
-	}
-	if err := cw.Write(vals); err != nil {
-		f.Close()
-		return err
-	}
-	if err := cw.Close(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

@@ -1,0 +1,28 @@
+package zkserve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Harden applies read-path timeouts to hs, defending the scan service
+// against slow-loris clients: a connection that trickles its request
+// header, or goes idle between keep-alive requests, is closed instead of
+// pinning a goroutine and a file descriptor forever. Only unset (zero)
+// fields are filled, so a caller's explicit configuration wins.
+//
+// No overall ReadTimeout or WriteTimeout is imposed: scan requests
+// legitimately stream responses for as long as the per-query time budget
+// allows, and the server's own budgets (Config.MaxDuration, client
+// disconnect via request context) already bound request lifetimes.
+func Harden(hs *http.Server) {
+	if hs.ReadHeaderTimeout == 0 {
+		hs.ReadHeaderTimeout = 5 * time.Second
+	}
+	if hs.IdleTimeout == 0 {
+		hs.IdleTimeout = 120 * time.Second
+	}
+	if hs.MaxHeaderBytes == 0 {
+		hs.MaxHeaderBytes = 64 << 10
+	}
+}

@@ -1,0 +1,70 @@
+package zkserve_test
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"repro/zkserve"
+)
+
+func TestHardenFillsOnlyZeroFields(t *testing.T) {
+	hs := &http.Server{}
+	zkserve.Harden(hs)
+	if hs.ReadHeaderTimeout == 0 || hs.IdleTimeout == 0 || hs.MaxHeaderBytes == 0 {
+		t.Fatalf("defaults not filled: %+v", hs)
+	}
+	// Streaming scans must never be cut off by a blanket write deadline.
+	if hs.ReadTimeout != 0 || hs.WriteTimeout != 0 {
+		t.Fatalf("Harden set a full-request timeout: read=%v write=%v", hs.ReadTimeout, hs.WriteTimeout)
+	}
+	custom := &http.Server{ReadHeaderTimeout: time.Minute}
+	zkserve.Harden(custom)
+	if custom.ReadHeaderTimeout != time.Minute {
+		t.Fatalf("explicit ReadHeaderTimeout overridden to %v", custom.ReadHeaderTimeout)
+	}
+}
+
+// TestHardenSlowLoris: a client that dribbles an eternally-unfinished
+// request header gets its connection closed once ReadHeaderTimeout
+// fires, instead of pinning a connection forever.
+func TestHardenSlowLoris(t *testing.T) {
+	hs := &http.Server{
+		ReadHeaderTimeout: 150 * time.Millisecond,
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+		ErrorLog:          nil,
+	}
+	zkserve.Harden(hs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow: ")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the header. The server must hang up well before our
+	// read deadline; a deadline error means the slow loris won.
+	if err := conn.SetReadDeadline(time.Now().Add(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	start := time.Now()
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if os.IsTimeout(err) {
+				t.Fatalf("connection still open %v after partial header", time.Since(start))
+			}
+			return // closed or reset: the timeout did its job
+		}
+	}
+}

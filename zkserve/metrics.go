@@ -42,6 +42,12 @@ type Metrics struct {
 	BlocksScanned atomic.Int64
 	BlocksPruned  atomic.Int64
 
+	// Degraded-mode activity: ScansDegraded counts skip_corrupt scans that
+	// actually lost blocks; BlocksSkipped sums the blocks those scans
+	// dropped. Both zero on a healthy server.
+	ScansDegraded atomic.Int64
+	BlocksSkipped atomic.Int64
+
 	scanLatency  histogram
 	otherLatency histogram
 }
@@ -109,6 +115,8 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("zkserve_frames_shipped_total", "Raw compressed block frames shipped in frame mode.", m.FramesShipped.Load())
 	counter("zkserve_blocks_scanned_total", "Blocks the conjunction's zone maps could not prune.", m.BlocksScanned.Load())
 	counter("zkserve_blocks_pruned_total", "Blocks proven empty by zone maps and skipped unread.", m.BlocksPruned.Load())
+	counter("zkserve_scans_degraded_total", "Scans completed in degraded mode with at least one block lost.", m.ScansDegraded.Load())
+	counter("zkserve_blocks_skipped_total", "Blocks dropped from degraded scans for corruption.", m.BlocksSkipped.Load())
 	fmt.Fprintf(w, "# HELP zkserve_request_duration_seconds Request latency by route class.\n# TYPE zkserve_request_duration_seconds histogram\n")
 	m.scanLatency.write(w, "zkserve_request_duration_seconds", "scan")
 	m.otherLatency.write(w, "zkserve_request_duration_seconds", "other")
@@ -137,4 +145,11 @@ func writeCacheProm(w io.Writer, enabled bool, st zukowski.CacheStats) {
 	gauge("zkserve_cache_resident_bytes", "Bytes currently held by the cache (payload plus bookkeeping).", st.Bytes)
 	gauge("zkserve_cache_capacity_bytes", "Configured cache byte budget.", st.Capacity)
 	gauge("zkserve_cache_entries", "Frames currently resident in the cache.", st.Entries)
+}
+
+// writeHealthProm appends the corruption-health series: the quarantine
+// gauge is computed at scrape time from the registry's readers, so it
+// reflects exactly what those readers have latched.
+func writeHealthProm(w io.Writer, quarantined int64) {
+	fmt.Fprintf(w, "# HELP zkserve_blocks_quarantined Blocks latched as permanently corrupt across all registered columns.\n# TYPE zkserve_blocks_quarantined gauge\nzkserve_blocks_quarantined %d\n", quarantined)
 }

@@ -46,6 +46,9 @@ type colHandle interface {
 	// setCache attaches the registry's hot-block cache to the reader
 	// (a no-op for in-memory columns, which are already resident).
 	setCache(c zukowski.BlockCache)
+	// quarantinedBlocks counts the blocks the reader has latched as
+	// permanently corrupt — the per-column health gauge.
+	quarantinedBlocks() int
 	// reader returns the underlying *zukowski.ColumnReader[T].
 	reader() any
 }
@@ -97,6 +100,10 @@ func (c *column[T]) setCache(cache zukowski.BlockCache) {
 	c.cr.SetBlockCache(cache)
 }
 
+func (c *column[T]) quarantinedBlocks() int {
+	return len(c.cr.QuarantinedBlocks())
+}
+
 // elemWidth returns T's size in bytes without reflection on the hot path.
 func elemWidth[T zukowski.Integer](T) uintptr {
 	switch any(*new(T)).(type) {
@@ -135,13 +142,13 @@ func clampRange[T zukowski.Integer](lo, hi int64) (tlo, thi T, ok bool) {
 // directory materialized into row starts, and the zone maps folded into
 // one column-wide [min, max] for the capability listing and loadgen's
 // predicate windows.
-func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, size int64) (colHandle, error) {
+func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, size int64, opts []zukowski.ReaderOption) (colHandle, error) {
 	var cr *zukowski.ColumnReader[T]
 	var err error
 	if mem != nil {
 		cr, err = zukowski.OpenColumn[T](mem)
 	} else {
-		cr, err = zukowski.OpenColumnReaderAt[T](src, size)
+		cr, err = zukowski.OpenColumnReaderAt[T](src, size, opts...)
 	}
 	if err != nil {
 		return nil, err
@@ -174,7 +181,7 @@ func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, si
 // newColHandle sniffs the container's element width from its header and
 // opens the column as the signed integer type of that width (the header
 // records width, not signedness).
-func newColHandle(name string, mem []byte, src io.ReaderAt, size int64) (colHandle, error) {
+func newColHandle(name string, mem []byte, src io.ReaderAt, size int64, opts []zukowski.ReaderOption) (colHandle, error) {
 	var hdr [16]byte
 	if mem != nil {
 		if len(mem) < len(hdr) {
@@ -188,13 +195,13 @@ func newColHandle(name string, mem []byte, src io.ReaderAt, size int64) (colHand
 	}
 	switch hdr[4] {
 	case 1:
-		return openColumn[int8](name, mem, src, size)
+		return openColumn[int8](name, mem, src, size, opts)
 	case 2:
-		return openColumn[int16](name, mem, src, size)
+		return openColumn[int16](name, mem, src, size, opts)
 	case 4:
-		return openColumn[int32](name, mem, src, size)
+		return openColumn[int32](name, mem, src, size, opts)
 	case 8:
-		return openColumn[int64](name, mem, src, size)
+		return openColumn[int64](name, mem, src, size, opts)
 	}
 	return nil, fmt.Errorf("%w: unsupported element width %d", zukowski.ErrCorruptColumn, hdr[4])
 }
@@ -241,6 +248,10 @@ type ColumnMeta struct {
 	HasMinMax       bool   `json:"has_min_max"`
 	Min             int64  `json:"min"`
 	Max             int64  `json:"max"`
+
+	// QuarantinedBlocks counts blocks latched as permanently corrupt —
+	// unreadable until the file is repaired (see segdump -repair).
+	QuarantinedBlocks int `json:"quarantined_blocks,omitempty"`
 }
 
 // TableMeta describes one table in the /tables capability listing.
@@ -248,6 +259,10 @@ type TableMeta struct {
 	Name    string       `json:"name"`
 	Rows    int          `json:"rows"` // rows of the first column
 	Columns []ColumnMeta `json:"columns"`
+
+	// Degraded is set when any column has quarantined blocks: exact scans
+	// over those blocks fail, degraded scans skip them.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Meta returns the table's capability listing entry.
@@ -258,13 +273,17 @@ func (t *Table) Meta() TableMeta {
 	}
 	for _, c := range t.cols {
 		cm := ColumnMeta{
-			Name:            c.colName(),
-			WidthBytes:      c.widthBytes(),
-			Rows:            c.rows(),
-			Blocks:          c.numBlocks(),
-			CompressedBytes: c.compressedBytes(),
+			Name:              c.colName(),
+			WidthBytes:        c.widthBytes(),
+			Rows:              c.rows(),
+			Blocks:            c.numBlocks(),
+			CompressedBytes:   c.compressedBytes(),
+			QuarantinedBlocks: c.quarantinedBlocks(),
 		}
 		cm.Min, cm.Max, cm.HasMinMax = c.minMax()
+		if cm.QuarantinedBlocks > 0 {
+			m.Degraded = true
+		}
 		m.Columns = append(m.Columns, cm)
 	}
 	return m
@@ -279,6 +298,12 @@ type Registry struct {
 	names   []string
 	closers []io.Closer
 	cache   *zukowski.BlockLRU // shared hot-block cache, nil when disabled
+
+	// retry is applied to every file-backed column opened after it is set;
+	// wrap interposes on the raw source (fault injection, tracing).
+	retry   zukowski.RetryPolicy
+	hasRtry bool
+	wrap    func(r io.ReaderAt, size int64) io.ReaderAt
 }
 
 // RegistryOption configures a Registry at construction.
@@ -288,6 +313,20 @@ type RegistryOption func(*Registry)
 // byte budget; see EnableCache. maxBytes <= 0 leaves the cache off.
 func WithCacheBytes(maxBytes int64) RegistryOption {
 	return func(r *Registry) { r.EnableCache(maxBytes) }
+}
+
+// WithRetryPolicy makes every file-backed column registered afterwards
+// retry transient source-read failures per p (see zukowski.RetryPolicy).
+// In-memory columns cannot observe I/O errors and ignore it.
+func WithRetryPolicy(p zukowski.RetryPolicy) RegistryOption {
+	return func(r *Registry) { r.retry, r.hasRtry = p, true }
+}
+
+// WithSourceWrapper interposes wrap on the raw io.ReaderAt of every
+// file-backed column registered afterwards — the hook zkserved's chaos
+// mode uses to inject faults between the reader and the filesystem.
+func WithSourceWrapper(wrap func(r io.ReaderAt, size int64) io.ReaderAt) RegistryOption {
+	return func(r *Registry) { r.wrap = wrap }
 }
 
 // NewRegistry returns an empty registry.
@@ -347,6 +386,19 @@ func (r *Registry) CacheStats() zukowski.CacheStats {
 	return r.cache.Stats()
 }
 
+// QuarantinedBlocks sums the quarantined-block counts of every column
+// across all tables — the process-wide corruption gauge behind /healthz
+// and the zkserve_blocks_quarantined metric.
+func (r *Registry) QuarantinedBlocks() int64 {
+	var n int64
+	for _, t := range r.tables {
+		for _, c := range t.cols {
+			n += int64(c.quarantinedBlocks())
+		}
+	}
+	return n
+}
+
 // Tables returns the registered table names, sorted.
 func (r *Registry) Tables() []string {
 	names := make([]string, len(r.names))
@@ -387,10 +439,19 @@ func (r *Registry) addHandle(table string, h colHandle) error {
 	return nil
 }
 
+// readerOpts folds the registry's reader-level configuration into the
+// options passed to every file-backed open.
+func (r *Registry) readerOpts() []zukowski.ReaderOption {
+	if !r.hasRtry {
+		return nil
+	}
+	return []zukowski.ReaderOption{zukowski.WithRetryPolicy(r.retry)}
+}
+
 // AddColumnBytes registers an in-memory column container under
 // table/col. The bytes are retained and must stay immutable.
 func (r *Registry) AddColumnBytes(table, col string, data []byte) error {
-	h, err := newColHandle(col, data, nil, int64(len(data)))
+	h, err := newColHandle(col, data, nil, int64(len(data)), nil)
 	if err != nil {
 		return fmt.Errorf("column %s/%s: %w", table, col, err)
 	}
@@ -410,7 +471,11 @@ func (r *Registry) AddColumnFile(table, col, path string) error {
 		f.Close()
 		return err
 	}
-	h, err := newColHandle(col, nil, f, st.Size())
+	var src io.ReaderAt = f
+	if r.wrap != nil {
+		src = r.wrap(src, st.Size())
+	}
+	h, err := newColHandle(col, nil, src, st.Size(), r.readerOpts())
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("column %s/%s: %w", table, col, err)

@@ -83,6 +83,13 @@ type ScanRequest struct {
 	// Workers asks for block-parallel execution (clamped to the server's
 	// MaxWorkers). Zero or one scans sequentially.
 	Workers int `json:"workers,omitempty"`
+
+	// SkipCorrupt opts this scan into degraded mode: blocks lost to
+	// corruption (quarantined blocks, checksum mismatches, undecodable
+	// frames) are skipped instead of failing the request, and the response
+	// trailer reports blocks_skipped and rows_lost. Off by default —
+	// exactness is the default contract.
+	SkipCorrupt bool `json:"skip_corrupt,omitempty"`
 }
 
 // AggResponse is the aggregate-mode response body.
@@ -92,6 +99,12 @@ type AggResponse struct {
 	Col       string    `json:"col"`
 	Result    AggResult `json:"result"`
 	ElapsedMS float64   `json:"elapsed_ms"`
+
+	// Degraded accounting, present only for skip_corrupt scans that
+	// actually lost blocks: the aggregate excludes RowsLost rows.
+	Degraded      bool  `json:"degraded,omitempty"`
+	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
+	RowsLost      int64 `json:"rows_lost,omitempty"`
 }
 
 // CacheInfo reports the hot-block cache configuration in /tables.
@@ -259,6 +272,10 @@ func (s *Server) buildPlan(req *ScanRequest) (plan *scanPlan, aggCol int, err er
 	if req.Workers > 1 {
 		plan.workers = min(req.Workers, s.cfg.MaxWorkers)
 	}
+	if req.SkipCorrupt {
+		plan.skip = true
+		plan.report = new(zukowski.ScanReport)
+	}
 	for _, name := range req.Cols {
 		ci, err := t.colIndex(name)
 		if err != nil {
@@ -418,13 +435,32 @@ func (s *Server) runAgg(ctx context.Context, w http.ResponseWriter, req *ScanReq
 	}
 	s.recordScanned(plan)
 	s.metrics.ScansOK.Add(1)
-	writeJSON(w, http.StatusOK, AggResponse{
+	resp := AggResponse{
 		Table:     req.Table,
 		Agg:       req.Agg,
 		Col:       plan.table.cols[aggCol].colName(),
 		Result:    res,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	}
+	if rep := plan.report; rep.Degraded() {
+		resp.Degraded = true
+		resp.BlocksSkipped = int64(rep.BlocksSkipped)
+		resp.RowsLost = rep.RowsLost
+		s.noteDegraded(rep)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// noteDegraded counts a scan that completed with losses and logs what was
+// dropped, so silent data loss never happens silently.
+func (s *Server) noteDegraded(rep *zukowski.ScanReport) {
+	s.metrics.ScansDegraded.Add(1)
+	s.metrics.BlocksSkipped.Add(int64(rep.BlocksSkipped))
+	s.log.Warn("degraded scan",
+		slog.Int("blocks_skipped", rep.BlocksSkipped),
+		slog.Int64("rows_lost", rep.RowsLost),
+		slog.String("first_err", fmt.Sprint(rep.FirstErr)),
+	)
 }
 
 func (s *Server) runRows(ctx context.Context, w http.ResponseWriter, req *ScanRequest, plan *scanPlan, maxRows, maxBytes int64) {
@@ -472,13 +508,16 @@ func (s *Server) runRows(ctx context.Context, w http.ResponseWriter, req *ScanRe
 			s.recordScanned(plan)
 		}
 		s.metrics.ScansOK.Add(1)
+		if plan.report.Degraded() {
+			s.noteDegraded(plan.report)
+		}
 	case ctx.Err() != nil:
 		s.metrics.ScansCanceled.Add(1)
 	default:
 		s.metrics.ScansServerErr.Add(1)
 	}
 	rw.trailer(rows, truncated, reason, err,
-		float64(time.Since(start))/float64(time.Millisecond))
+		float64(time.Since(start))/float64(time.Millisecond), plan.report)
 	rw.flush()
 	s.metrics.RowsEmitted.Add(rows)
 	s.metrics.BytesEmitted.Add(rw.bytesWritten())
@@ -529,7 +568,14 @@ func (s *Server) runFrames(ctx context.Context, w http.ResponseWriter, plan *sca
 		status, msg = FrameStatusError, err.Error()
 		s.metrics.ScansServerErr.Add(1)
 	}
-	fw.trailer(status, rowsRep, msg)
+	var skipped, lost int64
+	if rep := plan.report; rep.Degraded() {
+		skipped, lost = int64(rep.BlocksSkipped), rep.RowsLost
+		if err == nil {
+			s.noteDegraded(rep)
+		}
+	}
+	fw.trailer(status, rowsRep, skipped, lost, msg)
 	fw.flush()
 	s.metrics.RowsEmitted.Add(rowsRep)
 	s.metrics.FramesShipped.Add(frames)
@@ -562,6 +608,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	// Quarantined blocks degrade the body but not the status: the server
+	// still answers every scan that avoids (or skips) the bad blocks, so
+	// load balancers should keep routing here while operators repair.
+	if n := s.reg.QuarantinedBlocks(); n > 0 {
+		fmt.Fprintf(w, "degraded: %d blocks quarantined\n", n)
+		return
+	}
 	w.Write([]byte("ok\n"))
 }
 
@@ -569,4 +622,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w)
 	writeCacheProm(w, s.reg.CacheEnabled(), s.reg.CacheStats())
+	writeHealthProm(w, s.reg.QuarantinedBlocks())
 }

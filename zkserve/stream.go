@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/zukowski"
 )
 
 // Wire formats. Row mode is NDJSON (application/x-ndjson): a header
@@ -31,10 +33,12 @@ import (
 //	block:   u32 blockIndex, u64 firstRow, u32 rowCount,
 //	         then per column: u32 frameLen, frame bytes
 //	trailer: u32 0xFFFFFFFF, u8 status, u64 rowsRepresented,
+//	         u32 blocksSkipped, u64 rowsLost,   (version >= 2 only)
 //	         u16 msgLen, msg (empty unless status is error)
 //
 // A block index of 0xFFFFFFFF marks the trailer; a stream that ends
-// without one was cut mid-flight.
+// without one was cut mid-flight. Version 2 added the degraded-scan
+// accounting fields to the trailer; the reader accepts both versions.
 
 // Frame-stream trailer status values.
 const (
@@ -44,7 +48,7 @@ const (
 )
 
 const (
-	frameStreamVersion = 1
+	frameStreamVersion = 2
 	frameTrailerMark   = 0xFFFFFFFF
 )
 
@@ -109,18 +113,27 @@ func (rw *rowWriter) rows(rows []int64, vals [][]int64) {
 }
 
 // trailer ends the stream. reason is empty for a complete scan,
-// "rows"/"bytes" for a budget truncation, or an error description.
-func (rw *rowWriter) trailer(rows int64, truncated bool, reason string, scanErr error, elapsedMS float64) {
+// "rows"/"bytes" for a budget truncation, or an error description. rep
+// carries degraded-scan losses; nil or loss-free reports add nothing.
+func (rw *rowWriter) trailer(rows int64, truncated bool, reason string, scanErr error, elapsedMS float64, rep *zukowski.ScanReport) {
 	t := struct {
-		Done      bool    `json:"done"`
-		Rows      int64   `json:"rows"`
-		Truncated bool    `json:"truncated,omitempty"`
-		Reason    string  `json:"reason,omitempty"`
-		Error     string  `json:"error,omitempty"`
-		ElapsedMS float64 `json:"elapsed_ms"`
+		Done          bool    `json:"done"`
+		Rows          int64   `json:"rows"`
+		Truncated     bool    `json:"truncated,omitempty"`
+		Reason        string  `json:"reason,omitempty"`
+		Error         string  `json:"error,omitempty"`
+		Degraded      bool    `json:"degraded,omitempty"`
+		BlocksSkipped int64   `json:"blocks_skipped,omitempty"`
+		RowsLost      int64   `json:"rows_lost,omitempty"`
+		ElapsedMS     float64 `json:"elapsed_ms"`
 	}{Done: scanErr == nil, Rows: rows, Truncated: truncated, Reason: reason, ElapsedMS: elapsedMS}
 	if scanErr != nil {
 		t.Error = scanErr.Error()
+	}
+	if rep.Degraded() {
+		t.Degraded = true
+		t.BlocksSkipped = int64(rep.BlocksSkipped)
+		t.RowsLost = rep.RowsLost
 	}
 	b, _ := json.Marshal(t)
 	rw.bw.Write(b)
@@ -184,11 +197,13 @@ func (fw *frameWriter) block(index int, firstRow int64, count int, frames [][]by
 	}
 }
 
-func (fw *frameWriter) trailer(status byte, rows int64, msg string) {
+func (fw *frameWriter) trailer(status byte, rows int64, blocksSkipped int64, rowsLost int64, msg string) {
 	b := fw.buf[:0]
 	b = binary.LittleEndian.AppendUint32(b, frameTrailerMark)
 	b = append(b, status)
 	b = binary.LittleEndian.AppendUint64(b, uint64(rows))
+	b = binary.LittleEndian.AppendUint32(b, uint32(blocksSkipped))
+	b = binary.LittleEndian.AppendUint64(b, uint64(rowsLost))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(msg)))
 	b = append(b, msg...)
 	fw.buf = b
@@ -230,12 +245,22 @@ type FrameTrailer struct {
 	Status byte  // FrameStatusDone, FrameStatusTruncated or FrameStatusError
 	Rows   int64 // rows represented by the shipped blocks
 	Err    string
+
+	// Degraded-scan accounting (version 2 streams; zero on version 1):
+	// blocks dropped for corruption and the rows they held.
+	BlocksSkipped int64
+	RowsLost      int64
 }
 
+// Degraded reports whether the stream dropped corrupt blocks.
+func (t FrameTrailer) Degraded() bool { return t.BlocksSkipped > 0 }
+
 // FrameStreamReader decodes the binary frame stream — the client half of
-// frame mode, used by repro/zkserve/client and the tests.
+// frame mode, used by repro/zkserve/client and the tests. It accepts
+// stream versions 1 and 2.
 type FrameStreamReader struct {
 	br      *bufio.Reader
+	version byte
 	Cols    []FrameStreamCol
 	trailer FrameTrailer
 	done    bool
@@ -251,11 +276,11 @@ func NewFrameStreamReader(r io.Reader) (*FrameStreamReader, error) {
 	if [4]byte(hdr[:4]) != frameStreamMagic {
 		return nil, fmt.Errorf("zkserve: bad frame stream magic %q", hdr[:4])
 	}
-	if hdr[4] != frameStreamVersion {
+	if hdr[4] < 1 || hdr[4] > frameStreamVersion {
 		return nil, fmt.Errorf("zkserve: unsupported frame stream version %d", hdr[4])
 	}
 	n := int(binary.LittleEndian.Uint16(hdr[6:]))
-	fr := &FrameStreamReader{br: br, Cols: make([]FrameStreamCol, n)}
+	fr := &FrameStreamReader{br: br, version: hdr[4], Cols: make([]FrameStreamCol, n)}
 	for i := range fr.Cols {
 		var ch [4]byte
 		if _, err := io.ReadFull(br, ch[:]); err != nil {
@@ -287,15 +312,29 @@ func (fr *FrameStreamReader) Next() (*FrameBlock, error) {
 	}
 	index := binary.LittleEndian.Uint32(bh[:4])
 	if index == frameTrailerMark {
-		var th [11]byte
-		if _, err := io.ReadFull(fr.br, th[:]); err != nil {
+		// v1 trailer: u8 status, u64 rows, u16 msgLen.
+		// v2 adds u32 blocksSkipped + u64 rowsLost before msgLen.
+		fixed := 11
+		if fr.version >= 2 {
+			fixed = 23
+		}
+		th := make([]byte, fixed)
+		if _, err := io.ReadFull(fr.br, th); err != nil {
 			return nil, fmt.Errorf("zkserve: frame stream trailer: %w", err)
 		}
-		msg := make([]byte, binary.LittleEndian.Uint16(th[9:]))
+		t := FrameTrailer{Status: th[0], Rows: int64(binary.LittleEndian.Uint64(th[1:]))}
+		msgOff := 9
+		if fr.version >= 2 {
+			t.BlocksSkipped = int64(binary.LittleEndian.Uint32(th[9:]))
+			t.RowsLost = int64(binary.LittleEndian.Uint64(th[13:]))
+			msgOff = 21
+		}
+		msg := make([]byte, binary.LittleEndian.Uint16(th[msgOff:]))
 		if _, err := io.ReadFull(fr.br, msg); err != nil {
 			return nil, fmt.Errorf("zkserve: frame stream trailer message: %w", err)
 		}
-		fr.trailer = FrameTrailer{Status: th[0], Rows: int64(binary.LittleEndian.Uint64(th[1:])), Err: string(msg)}
+		t.Err = string(msg)
+		fr.trailer = t
 		fr.done = true
 		return nil, nil
 	}

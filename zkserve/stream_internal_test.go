@@ -14,7 +14,7 @@ func TestFrameStreamRoundTrip(t *testing.T) {
 	frames := [][]byte{{1, 2, 3, 4}, {9}}
 	fw.block(7, 7168, 1024, frames)
 	fw.block(9, 9216, 512, [][]byte{{}, {0xff, 0xee}})
-	fw.trailer(FrameStatusTruncated, 1536, "")
+	fw.trailer(FrameStatusTruncated, 1536, 0, 0, "")
 	if err := fw.flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
@@ -59,7 +59,7 @@ func TestFrameStreamErrorTrailer(t *testing.T) {
 	var buf bytes.Buffer
 	fw := newFrameWriter(&buf)
 	fw.header(nil)
-	fw.trailer(FrameStatusError, 0, "boom")
+	fw.trailer(FrameStatusError, 0, 3, 12288, "boom")
 	if err := fw.flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}
@@ -70,8 +70,37 @@ func TestFrameStreamErrorTrailer(t *testing.T) {
 	if blk, err := fr.Next(); err != nil || blk != nil {
 		t.Fatalf("Next = %v, %v", blk, err)
 	}
-	if tr := fr.Trailer(); tr.Status != FrameStatusError || tr.Err != "boom" {
+	if tr := fr.Trailer(); tr.Status != FrameStatusError || tr.Err != "boom" ||
+		tr.BlocksSkipped != 3 || tr.RowsLost != 12288 || !tr.Degraded() {
 		t.Fatalf("trailer = %+v", tr)
+	}
+}
+
+// TestFrameStreamV1Trailer: the reader still decodes version-1 streams,
+// whose trailers lack the degraded-accounting fields.
+func TestFrameStreamV1Trailer(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	fw.header(nil)
+	fw.trailer(FrameStatusDone, 77, 0, 0, "")
+	if err := fw.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Rewrite the stream as v1: flip the version byte and splice the two
+	// degraded fields (u32+u64 = 12 bytes) out of the trailer.
+	raw := buf.Bytes()
+	raw[4] = 1
+	cut := len(raw) - 2 - 12 // msgLen is last (empty msg)
+	v1 := append(append([]byte{}, raw[:cut]...), raw[cut+12:]...)
+	fr, err := NewFrameStreamReader(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 header: %v", err)
+	}
+	if blk, err := fr.Next(); err != nil || blk != nil {
+		t.Fatalf("Next = %v, %v", blk, err)
+	}
+	if tr := fr.Trailer(); tr.Status != FrameStatusDone || tr.Rows != 77 || tr.Degraded() {
+		t.Fatalf("v1 trailer = %+v", tr)
 	}
 }
 
@@ -107,7 +136,7 @@ func TestRowWriterShape(t *testing.T) {
 	rw := newRowWriter(&buf)
 	rw.header("t", []string{"a", "b"})
 	rw.rows([]int64{5, 6}, [][]int64{{10, -20}, {30, 40}})
-	rw.trailer(2, true, "rows", nil, 1.5)
+	rw.trailer(2, true, "rows", nil, 1.5, nil)
 	if err := rw.flush(); err != nil {
 		t.Fatalf("flush: %v", err)
 	}

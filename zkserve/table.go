@@ -2,6 +2,7 @@ package zkserve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/zukowski"
@@ -28,6 +29,20 @@ type scanPlan struct {
 	out     []int // output column indices, in request order
 	preds   []predSpec
 	workers int
+
+	// skip makes the scan degraded: corrupt or quarantined blocks are
+	// dropped and accounted in report instead of failing the request.
+	skip   bool
+	report *zukowski.ScanReport
+}
+
+// scanOpts translates the plan's degraded-mode setting into engine
+// options.
+func (p *scanPlan) scanOpts(extra ...zukowski.ScanOption) []zukowski.ScanOption {
+	if p.skip {
+		extra = append(extra, zukowski.SkipCorrupt(p.report))
+	}
+	return extra
 }
 
 // involved returns the deduplicated union of output and predicate
@@ -242,9 +257,9 @@ func runScan[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []in
 	if p.workers > 1 {
 		return set.ParallelScanWhereAllContext(ctx, preds, p.workers,
 			func(_ int, rows []int64, cols [][]T) bool { return deliver(rows, cols) },
-			zukowski.InOrder())
+			p.scanOpts(zukowski.InOrder())...)
 	}
-	return set.ScanWhereAllContext(ctx, preds, deliver)
+	return set.ScanWhereAllContext(ctx, preds, deliver, p.scanOpts()...)
 }
 
 func runAggregate[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []int, aggCol int) (AggResult, error) {
@@ -252,7 +267,7 @@ func runAggregate[T zukowski.Integer](ctx context.Context, p *scanPlan, involved
 	if err != nil || empty {
 		return AggResult{}, err
 	}
-	agg, err := set.AggregateWhereAllContext(ctx, preds, setIdx[aggCol])
+	agg, err := set.AggregateWhereAllContext(ctx, preds, setIdx[aggCol], p.scanOpts()...)
 	if err != nil {
 		return AggResult{}, err
 	}
@@ -287,16 +302,33 @@ func (p *scanPlan) streamBlocks(ctx context.Context, emit func(b int, firstRow i
 		if excluded {
 			continue
 		}
+		bad := false
 		for i, ci := range p.out {
 			frame, err := p.table.cols[ci].frameBytes(b)
 			if err != nil {
+				// Degraded mode drops the whole block (all columns) when any
+				// column's frame is a data fault; other failures propagate.
+				if p.skip && skippableFrameErr(err) {
+					p.report.Record(first.blockCount(b), err)
+					bad = true
+					break
+				}
 				return err
 			}
 			frames[i] = frame
+		}
+		if bad {
+			continue
 		}
 		if !emit(b, first.blockFirstRow(b), first.blockCount(b), frames) {
 			return nil
 		}
 	}
 	return nil
+}
+
+// skippableFrameErr mirrors the engine's degraded-mode classification for
+// the frame-streaming path: only faults of the data itself are skippable.
+func skippableFrameErr(err error) bool {
+	return errors.Is(err, zukowski.ErrCorruptColumn) || errors.Is(err, zukowski.ErrCorruptSegment)
 }

@@ -262,40 +262,45 @@ func (cw *ColumnWriter[T]) Close() error {
 		}
 	}
 	cw.closed = true
-	entrySize := columnDirEntrySize(cw.version)
-	footer := make([]byte, 0, len(cw.dir)*entrySize+columnTailSize(cw.version))
-	for _, blk := range cw.dir {
+	_, err := cw.w.Write(appendFooter(nil, cw.dir, cw.total, cw.version))
+	if err != nil {
+		cw.err = err
+	}
+	return err
+}
+
+// appendFooter serializes the directory and tail of a container — the
+// format authority shared by ColumnWriter.Close and RecoverColumn.
+func appendFooter(footer []byte, dir []columnBlock, total uint64, version int) []byte {
+	entrySize := columnDirEntrySize(version)
+	footer = slices.Grow(footer, len(dir)*entrySize+columnTailSize(version))
+	dirStart := len(footer)
+	for _, blk := range dir {
 		var ent [columnDirEntryV2]byte
 		binary.LittleEndian.PutUint64(ent[:], blk.offset)
 		binary.LittleEndian.PutUint32(ent[8:], blk.length)
 		binary.LittleEndian.PutUint32(ent[12:], blk.count)
-		if cw.version >= FormatZKC2 {
+		if version >= FormatZKC2 {
 			binary.LittleEndian.PutUint32(ent[16:], blk.crc)
 			binary.LittleEndian.PutUint64(ent[24:], blk.minBits)
 			binary.LittleEndian.PutUint64(ent[32:], blk.maxBits)
 		}
 		footer = append(footer, ent[:entrySize]...)
 	}
-	if cw.version == FormatZKC1 {
+	if version == FormatZKC1 {
 		var tail [columnTailSizeV1]byte
-		binary.LittleEndian.PutUint64(tail[:], cw.total)
-		binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
+		binary.LittleEndian.PutUint64(tail[:], total)
+		binary.LittleEndian.PutUint32(tail[8:], uint32(len(dir)))
 		copy(tail[12:], columnTailV1[:])
-		footer = append(footer, tail[:]...)
-	} else {
-		dirCRC := crc32.Checksum(footer, castagnoli)
-		var tail [columnTailSizeV2]byte
-		binary.LittleEndian.PutUint64(tail[:], cw.total)
-		binary.LittleEndian.PutUint32(tail[8:], uint32(len(cw.dir)))
-		binary.LittleEndian.PutUint32(tail[12:], dirCRC)
-		copy(tail[20:], columnTailV2[:])
-		footer = append(footer, tail[:]...)
+		return append(footer, tail[:]...)
 	}
-	_, err := cw.w.Write(footer)
-	if err != nil {
-		cw.err = err
-	}
-	return err
+	dirCRC := crc32.Checksum(footer[dirStart:], castagnoli)
+	var tail [columnTailSizeV2]byte
+	binary.LittleEndian.PutUint64(tail[:], total)
+	binary.LittleEndian.PutUint32(tail[8:], uint32(len(dir)))
+	binary.LittleEndian.PutUint32(tail[12:], dirCRC)
+	copy(tail[20:], columnTailV2[:])
+	return append(footer, tail[:]...)
 }
 
 // Len returns the number of values written so far, including buffered ones.
@@ -361,7 +366,10 @@ func (s *readerAtSource) view(off int64, n int) ([]byte, error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(io.NewSectionReader(s.r, off, int64(n)), buf); err != nil {
-		return nil, fmt.Errorf("%w: reading [%d,%d): %w", ErrCorruptColumn, off, off+int64(n), err)
+		// ErrIO marks the failure as transient-class (the bytes never
+		// arrived) for the retry path; ErrCorruptColumn stays in the chain
+		// as the umbrella every container failure matches.
+		return nil, fmt.Errorf("%w: %w reading [%d,%d): %w", ErrCorruptColumn, ErrIO, off, off+int64(n), err)
 	}
 	return buf, nil
 }
@@ -397,6 +405,10 @@ type ColumnReader[T Integer] struct {
 	// sources, keyed by a process-unique column id — see SetBlockCache.
 	cache atomic.Pointer[attachedCache]
 
+	// retry bounds re-reads of transient source I/O failures — see
+	// RetryPolicy. The zero value performs no retries.
+	retry RetryPolicy
+
 	// states pools per-worker decode scratch (*decodeState[T]). A scan
 	// holds one state for its whole pass, so steady-state sequential scans
 	// allocate nothing; parallel scans draw one state per in-flight block.
@@ -418,6 +430,11 @@ type blockSlot[T Integer] struct {
 	// under contention the work happens exactly once. Contention is
 	// confined to one block's first touch; the steady state is lock-free.
 	mu sync.Mutex
+
+	// quar latches the block's permanent failure: a checksum mismatch that
+	// survived a re-read. Once set, every fetch of the block fails fast
+	// with the latched error — see RetryPolicy's package comments.
+	quar atomic.Pointer[error]
 }
 
 // parsedBlock is the memoized random-access form of one block: the parsed
@@ -458,6 +475,7 @@ type ReaderOption func(*readerConfig)
 
 type readerConfig struct {
 	cache BlockCache
+	retry RetryPolicy
 }
 
 // WithBlockCache attaches a hot-block cache at open time; equivalent to
@@ -589,6 +607,7 @@ func openColumn[T Integer](src columnSource, opts []ReaderOption) (*ColumnReader
 	if cfg.cache != nil {
 		cr.SetBlockCache(cfg.cache)
 	}
+	cr.retry = cfg.retry
 	// Detect the writer's uniform block size so Get can locate a row's
 	// block with one division: every block but the last must hold exactly
 	// the header's block size, and the last no more (a crafted directory
@@ -705,7 +724,13 @@ func (cr *ColumnReader[T]) viewVerified(b int) ([]byte, error) {
 // block cache is attached, in which case the fill (one read, one
 // verification) is singleflighted under the block's mutex and every hit
 // is served from the cache without touching the source or the hash.
+//
+// A quarantined block fails fast with its latched error; transient I/O
+// failures retry under the reader's RetryPolicy (see fetchVerified).
 func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
+	if err := cr.quarantined(b); err != nil {
+		return nil, err
+	}
 	if ac := cr.cache.Load(); ac != nil {
 		if buf := ac.c.Get(ac.id, b); buf != nil {
 			return buf, nil
@@ -716,7 +741,7 @@ func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
 		if buf := ac.c.Get(ac.id, b); buf != nil {
 			return buf, nil
 		}
-		buf, err := cr.viewVerified(b)
+		buf, err := cr.fetchVerified(b)
 		if err != nil {
 			return nil, err // corrupt or unreadable blocks are never cached
 		}
@@ -724,7 +749,7 @@ func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
 		return buf, nil
 	}
 	if cr.version < FormatZKC2 || !cr.src.stable() {
-		return cr.viewVerified(b)
+		return cr.fetchVerified(b)
 	}
 	slot := &cr.slots[b]
 	if slot.verified.Load() {
@@ -735,7 +760,7 @@ func (cr *ColumnReader[T]) frame(b int) ([]byte, error) {
 	if slot.verified.Load() {
 		return cr.view(b)
 	}
-	return cr.viewVerified(b)
+	return cr.fetchVerified(b)
 }
 
 // decodeColumnFrame decodes one frame regardless of which codec wrote it,
@@ -865,19 +890,21 @@ func (cr *ColumnReader[T]) ReadBlock(b int, dst []T) ([]T, error) {
 
 // Scan decodes the column block by block, invoking fn with each decoded
 // vector. The vector is reused between calls; fn must copy values it
-// keeps. Scanning stops early when fn returns false.
+// keeps. Scanning stops early when fn returns false. SkipCorrupt makes
+// the scan degraded: unreadable blocks are skipped and accounted instead
+// of failing the scan.
 //
 // The scan holds one pooled decode state for its whole pass, so a warmed
 // sequential scan performs no heap allocation; concurrent scans on one
 // shared reader each draw their own state.
-func (cr *ColumnReader[T]) Scan(fn func(vals []T) bool) error {
-	return cr.scanBlocks(nil, func(_ int, vals []T) bool { return fn(vals) })
+func (cr *ColumnReader[T]) Scan(fn func(vals []T) bool, opts ...ScanOption) error {
+	return cr.scanBlocks(parseScanOpts(opts), nil, func(_ int, vals []T) bool { return fn(vals) })
 }
 
 // scanBlocks is the sequential scan loop over the blocks selected by match
 // (nil selects every block); it is also the degenerate one-worker case of
 // the parallel scans, which is why fn receives the block index.
-func (cr *ColumnReader[T]) scanBlocks(match func(b int) bool, fn func(b int, vals []T) bool) error {
+func (cr *ColumnReader[T]) scanBlocks(cfg *scanConfig, match func(b int) bool, fn func(b int, vals []T) bool) error {
 	st := cr.getState()
 	defer cr.putState(st)
 	for i := range cr.blocks {
@@ -886,6 +913,9 @@ func (cr *ColumnReader[T]) scanBlocks(match func(b int) bool, fn func(b int, val
 		}
 		vals, err := cr.readBlockInto(st, i, st.vals[:0])
 		if err != nil {
+			if cfg.skipBlock(int(cr.blocks[i].count), err) {
+				continue
+			}
 			return err
 		}
 		st.vals = vals
@@ -958,6 +988,9 @@ func (cr *ColumnReader[T]) parseBlock(b int) (*parsedBlock[T], error) {
 	if p := slot.parsed.Load(); p != nil {
 		return p, nil
 	}
+	if err := cr.quarantined(b); err != nil {
+		return nil, err
+	}
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
 	if p := slot.parsed.Load(); p != nil {
@@ -967,14 +1000,14 @@ func (cr *ColumnReader[T]) parseBlock(b int) (*parsedBlock[T], error) {
 	var err error
 	if ac := cr.cache.Load(); ac != nil {
 		if frame = ac.c.Get(ac.id, b); frame == nil {
-			if frame, err = cr.viewVerified(b); err == nil {
+			if frame, err = cr.fetchVerified(b); err == nil {
 				ac.c.Put(ac.id, b, frame)
 			}
 		}
 	} else if cr.src.stable() && slot.verified.Load() {
 		frame, err = cr.view(b)
 	} else {
-		frame, err = cr.viewVerified(b)
+		frame, err = cr.fetchVerified(b)
 	}
 	if err != nil {
 		return nil, err

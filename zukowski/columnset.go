@@ -378,15 +378,16 @@ func (cs *ColumnSet[T]) blockWhereAll(st *setState[T], b int, preds []Pred[T]) (
 // A warmed sequential ScanWhereAll performs no heap allocation: the scan
 // holds one pooled state — per-column decode scratch, the bitmap, and the
 // output buffers — for its whole pass.
-func (cs *ColumnSet[T]) ScanWhereAll(preds []Pred[T], fn func(rows []int64, cols [][]T) bool) error {
-	return cs.scanWhereAll(context.Background(), preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+func (cs *ColumnSet[T]) ScanWhereAll(preds []Pred[T], fn func(rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	return cs.scanWhereAll(context.Background(), parseScanOpts(opts), preds,
+		func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
 }
 
 // scanWhereAll is the sequential conjunctive scan loop, also the
 // one-worker degenerate case of ParallelScanWhereAll. ctx is consulted
 // once per block (see ScanWhereAllContext); context.Background() never
 // fires and costs one predictable branch.
-func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, preds []Pred[T], fn func(block int, rows []int64, cols [][]T) bool) error {
+func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, cfg *scanConfig, preds []Pred[T], fn func(block int, rows []int64, cols [][]T) bool) error {
 	empty, err := cs.checkPreds(preds)
 	if err != nil || empty {
 		return err
@@ -403,6 +404,9 @@ func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, preds []Pred[T], fn fu
 		}
 		rows, out, err := cs.blockWhereAll(st, b, preds)
 		if err != nil {
+			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
+				continue
+			}
 			return err
 		}
 		if len(rows) == 0 {
@@ -433,13 +437,17 @@ func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T
 	if err != nil || empty {
 		return err
 	}
-	seq := func() error { return cs.scanWhereAll(ctx, preds, fn) }
+	cfg := parseScanOpts(opts)
+	seq := func() error { return cs.scanWhereAll(ctx, cfg, preds, fn) }
 	work := func(st *setState[T], b int) (func() bool, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		rows, out, err := cs.blockWhereAll(st, b, preds)
 		if err != nil {
+			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
+				return nil, nil
+			}
 			return nil, err
 		}
 		if len(rows) == 0 {
@@ -447,7 +455,7 @@ func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T
 		}
 		return func() bool { return fn(b, rows, out) }, nil
 	}
-	return parallelBlocksEngine(len(cs.cols[0].blocks), workers, cs.zoneMatchAll(preds), opts,
+	return parallelBlocksEngine(len(cs.cols[0].blocks), workers, cs.zoneMatchAll(preds), cfg,
 		seq, cs.getState, cs.putState, work)
 }
 
@@ -457,13 +465,13 @@ func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T
 // then decoded, into a reusable buffer, so the aggregate never
 // materializes a non-matching value. An empty preds slice aggregates the
 // whole column; a trivially empty conjunction yields Count == 0.
-func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int) (Aggregate[T], error) {
-	return cs.aggregateWhereAll(context.Background(), preds, col)
+func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int, opts ...ScanOption) (Aggregate[T], error) {
+	return cs.aggregateWhereAll(context.Background(), parseScanOpts(opts), preds, col)
 }
 
 // aggregateWhereAll is AggregateWhereAll with an explicit context, checked
 // once per block (see AggregateWhereAllContext).
-func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, preds []Pred[T], col int) (Aggregate[T], error) {
+func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, cfg *scanConfig, preds []Pred[T], col int) (Aggregate[T], error) {
 	var agg Aggregate[T]
 	if col < 0 || col >= len(cs.cols) {
 		return agg, fmt.Errorf("%w: aggregate column %d not in [0,%d)", ErrIndexOutOfRange, col, len(cs.cols))
@@ -484,6 +492,9 @@ func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, preds []Pred[T], 
 		}
 		any, err := cs.blockMask(st, b, preds)
 		if err != nil {
+			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
+				continue
+			}
 			return Aggregate[T]{}, err
 		}
 		if !any {
@@ -491,6 +502,9 @@ func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, preds []Pred[T], 
 		}
 		vals, err := cs.gatherBlockCol(st, b, col)
 		if err != nil {
+			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
+				continue
+			}
 			return Aggregate[T]{}, err
 		}
 		for _, v := range vals {

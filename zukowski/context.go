@@ -21,8 +21,8 @@ import "context"
 // the next block boundary once ctx is done and returns ctx.Err(). A scan
 // stopped by fn returning false still returns nil; a scan stopped by the
 // context returns context.Canceled or context.DeadlineExceeded.
-func (cs *ColumnSet[T]) ScanWhereAllContext(ctx context.Context, preds []Pred[T], fn func(rows []int64, cols [][]T) bool) error {
-	return cs.scanWhereAll(ctx, preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+func (cs *ColumnSet[T]) ScanWhereAllContext(ctx context.Context, preds []Pred[T], fn func(rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	return cs.scanWhereAll(ctx, parseScanOpts(opts), preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
 }
 
 // ParallelScanWhereAllContext is ParallelScanWhereAll under a context:
@@ -37,6 +37,6 @@ func (cs *ColumnSet[T]) ParallelScanWhereAllContext(ctx context.Context, preds [
 // AggregateWhereAllContext is AggregateWhereAll under a context: the fold
 // stops at the next block boundary once ctx is done and returns a zero
 // Aggregate with ctx.Err().
-func (cs *ColumnSet[T]) AggregateWhereAllContext(ctx context.Context, preds []Pred[T], col int) (Aggregate[T], error) {
-	return cs.aggregateWhereAll(ctx, preds, col)
+func (cs *ColumnSet[T]) AggregateWhereAllContext(ctx context.Context, preds []Pred[T], col int, opts ...ScanOption) (Aggregate[T], error) {
+	return cs.aggregateWhereAll(ctx, parseScanOpts(opts), preds, col)
 }

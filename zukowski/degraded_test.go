@@ -1,0 +1,421 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/faultio"
+	"repro/zukowski"
+)
+
+// corruptPayloadByte flips one byte in the middle of block b's payload and
+// returns the block's directory row count — the rows a degraded scan must
+// report lost when it skips the block.
+func corruptPayloadByte[T zukowski.Integer](t *testing.T, data []byte, block int) int {
+	t.Helper()
+	cr, err := zukowski.OpenColumn[T](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cr.BlockInfo(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[int(info.Offset)+info.Length/2] ^= 0x04
+	return info.Count
+}
+
+// blockRows returns [start, end) row numbers of block b in a column of
+// uniform blockValues-sized blocks over n rows.
+func blockRows(block, blockValues, n int) (int, int) {
+	return block * blockValues, min((block+1)*blockValues, n)
+}
+
+// TestDegradedScanSkipCorrupt: a scan over a container with one corrupt
+// block fails by default, but with SkipCorrupt completes, delivers exactly
+// the surviving rows, and reports exactly the damaged block's rows lost.
+func TestDegradedScanSkipCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	src := genValues[int64](rng, 4000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+	const bad = 2
+	lost := corruptPayloadByte[int64](t, data, bad)
+
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default contract: fail-stop.
+	if err := cr.Scan(func([]int64) bool { return true }); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("Scan err = %v, want ErrChecksumMismatch", err)
+	}
+
+	// Degraded: the scan completes and matches the decode oracle on the
+	// surviving rows.
+	lo, hi := blockRows(bad, 512, len(src))
+	want := slices.Concat(src[:lo], src[hi:])
+	var rep zukowski.ScanReport
+	var got []int64
+	if err := cr.Scan(func(vals []int64) bool {
+		got = append(got, vals...)
+		return true
+	}, zukowski.SkipCorrupt(&rep)); err != nil {
+		t.Fatalf("degraded Scan: %v", err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("degraded Scan delivered %d rows, oracle %d", len(got), len(want))
+	}
+	if rep.BlocksSkipped != 1 || rep.RowsLost != int64(lost) || !rep.Degraded() {
+		t.Fatalf("report = {blocks %d, rows %d}, want {1, %d}", rep.BlocksSkipped, rep.RowsLost, lost)
+	}
+	if !errors.Is(rep.FirstErr, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("FirstErr = %v, want ErrChecksumMismatch", rep.FirstErr)
+	}
+
+	// The persistent mismatch quarantined the block: later non-degraded
+	// touches fail fast with the latched error.
+	if got := cr.QuarantinedBlocks(); !slices.Equal(got, []int{bad}) {
+		t.Fatalf("QuarantinedBlocks = %v, want [%d]", got, bad)
+	}
+	if _, err := cr.Get(lo + 1); !errors.Is(err, zukowski.ErrBlockQuarantined) {
+		t.Fatalf("Get in quarantined block err = %v, want ErrBlockQuarantined", err)
+	}
+	// VerifyBlock bypasses the quarantine latch and re-checks the bytes.
+	if err := cr.VerifyBlock(bad); !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("VerifyBlock err = %v, want ErrChecksumMismatch", err)
+	}
+	// A second degraded pass skips via the latch and still matches.
+	var rep2 zukowski.ScanReport
+	got = got[:0]
+	if err := cr.Scan(func(vals []int64) bool {
+		got = append(got, vals...)
+		return true
+	}, zukowski.SkipCorrupt(&rep2)); err != nil || !slices.Equal(got, want) {
+		t.Fatalf("second degraded Scan: err=%v rows=%d", err, len(got))
+	}
+	if !errors.Is(rep2.FirstErr, zukowski.ErrBlockQuarantined) {
+		t.Fatalf("second pass FirstErr = %v, want ErrBlockQuarantined", rep2.FirstErr)
+	}
+}
+
+// TestDegradedSelectAndAggregate: the filtered-scan and aggregate paths
+// honor SkipCorrupt the same way, against the decode oracle.
+func TestDegradedSelectAndAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	src := genValues[int64](rng, 5000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+	const bad = 4
+	lost := corruptPayloadByte[int64](t, data, bad)
+	lo, hi := blockRows(bad, 512, len(src))
+
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving := slices.Concat(src[:lo], src[hi:])
+	plo, phi := int64(5), int64(40)
+
+	// ScanSelect: fails by default, degraded pass matches filtering the
+	// surviving rows.
+	if err := cr.ScanSelect(plo, phi, func([]int64, []int64) bool { return true }); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("ScanSelect err = %v", err)
+	}
+	var rep zukowski.ScanReport
+	var got []int64
+	if err := cr.ScanSelect(plo, phi, func(_ []int64, vals []int64) bool {
+		got = append(got, vals...)
+		return true
+	}, zukowski.SkipCorrupt(&rep)); err != nil {
+		t.Fatalf("degraded ScanSelect: %v", err)
+	}
+	var want []int64
+	for _, v := range surviving {
+		if v >= plo && v <= phi {
+			want = append(want, v)
+		}
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("degraded ScanSelect selected %d, oracle %d", len(got), len(want))
+	}
+	if rep.BlocksSkipped != 1 || rep.RowsLost != int64(lost) {
+		t.Fatalf("select report = %+v", &rep)
+	}
+
+	// AggregateWhere over the full domain: count is exactly the surviving
+	// rows, sum matches the oracle.
+	var agg zukowski.Aggregate[int64]
+	minV, maxV := slices.Min(src), slices.Max(src)
+	if _, err := cr.AggregateWhere(minV, maxV); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("AggregateWhere err = %v", err)
+	}
+	var arep zukowski.ScanReport
+	agg, err = cr.AggregateWhere(minV, maxV, zukowski.SkipCorrupt(&arep))
+	if err != nil {
+		t.Fatalf("degraded AggregateWhere: %v", err)
+	}
+	var wantSum int64
+	for _, v := range surviving {
+		wantSum += v
+	}
+	if agg.Count != int64(len(surviving)) || agg.Sum != wantSum {
+		t.Fatalf("degraded aggregate = %+v, want count %d sum %d", agg, len(surviving), wantSum)
+	}
+	if arep.RowsLost != int64(lost) {
+		t.Fatalf("aggregate report = %+v", &arep)
+	}
+}
+
+// TestDegradedParallelScanSelect: the parallel filtered scan skips the
+// damaged block from whichever worker hits it, race-clean, and the report
+// is still exact.
+func TestDegradedParallelScanSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	src := genValues[int64](rng, 8000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+	const bad = 7
+	lost := corruptPayloadByte[int64](t, data, bad)
+	lo, hi := blockRows(bad, 512, len(src))
+	surviving := slices.Concat(src[:lo], src[hi:])
+
+	cr, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.ParallelScanSelect(0, 1<<40, 4, func(int, []int64, []int64) bool { return true }); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("ParallelScanSelect err = %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		var rep zukowski.ScanReport
+		var got []int64
+		if err := cr.ParallelScanSelect(0, 1<<40, workers, func(_ int, _ []int64, vals []int64) bool {
+			got = append(got, vals...) // fn is never called concurrently
+			return true
+		}, zukowski.InOrder(), zukowski.SkipCorrupt(&rep)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var want []int64
+		for _, v := range surviving {
+			if v >= 0 {
+				want = append(want, v)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: %d rows, oracle %d", workers, len(got), len(want))
+		}
+		if rep.BlocksSkipped != 1 || rep.RowsLost != int64(lost) {
+			t.Fatalf("workers=%d: report = %+v", workers, &rep)
+		}
+	}
+}
+
+// TestDegradedScanWhereAllParallel: conjunctive multi-column scans and
+// aggregates skip a block that is corrupt in any member column, losing
+// that block's rows across the whole set — sequential, parallel and
+// context variants agree.
+func TestDegradedScanWhereAllParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	a := genValues[int64](rng, 6000)
+	b := genValues[int64](rng, 6000)
+	dataA := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, a)
+	dataB := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, b)
+	const bad = 3
+	lost := corruptPayloadByte[int64](t, dataB, bad)
+	lo, hi := blockRows(bad, 512, len(a))
+
+	crA, err := zukowski.OpenColumn[int64](dataA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crB, err := zukowski.OpenColumn[int64](dataB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := zukowski.NewColumnSet(crA, crB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := []zukowski.Pred[int64]{{Col: 0, Lo: 0, Hi: 50}, {Col: 1, Lo: 0, Hi: 50}}
+
+	// Oracle: filter rows outside the damaged block.
+	var wantRows []int64
+	var wantSum int64
+	for i := range a {
+		if i >= lo && i < hi {
+			continue
+		}
+		if a[i] >= 0 && a[i] <= 50 && b[i] >= 0 && b[i] <= 50 {
+			wantRows = append(wantRows, int64(i))
+			wantSum += a[i]
+		}
+	}
+
+	if err := cs.ScanWhereAll(preds, func([]int64, [][]int64) bool { return true }); !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("ScanWhereAll err = %v", err)
+	}
+
+	var rep zukowski.ScanReport
+	var gotRows []int64
+	if err := cs.ScanWhereAll(preds, func(rows []int64, _ [][]int64) bool {
+		gotRows = append(gotRows, rows...)
+		return true
+	}, zukowski.SkipCorrupt(&rep)); err != nil {
+		t.Fatalf("degraded ScanWhereAll: %v", err)
+	}
+	if !slices.Equal(gotRows, wantRows) {
+		t.Fatalf("degraded ScanWhereAll: %d rows, oracle %d", len(gotRows), len(wantRows))
+	}
+	if rep.BlocksSkipped != 1 || rep.RowsLost != int64(lost) {
+		t.Fatalf("report = %+v, want 1 block / %d rows", &rep, lost)
+	}
+
+	var prep zukowski.ScanReport
+	gotRows = gotRows[:0]
+	if err := cs.ParallelScanWhereAll(preds, 4, func(_ int, rows []int64, _ [][]int64) bool {
+		gotRows = append(gotRows, rows...)
+		return true
+	}, zukowski.InOrder(), zukowski.SkipCorrupt(&prep)); err != nil {
+		t.Fatalf("degraded ParallelScanWhereAll: %v", err)
+	}
+	if !slices.Equal(gotRows, wantRows) || prep.BlocksSkipped != 1 {
+		t.Fatalf("parallel: %d rows (oracle %d), report %+v", len(gotRows), len(wantRows), &prep)
+	}
+
+	var agrep zukowski.ScanReport
+	agg, err := cs.AggregateWhereAll(preds, 0, zukowski.SkipCorrupt(&agrep))
+	if err != nil {
+		t.Fatalf("degraded AggregateWhereAll: %v", err)
+	}
+	if agg.Count != int64(len(wantRows)) || agg.Sum != wantSum {
+		t.Fatalf("aggregate = %+v, want count %d sum %d", agg, len(wantRows), wantSum)
+	}
+}
+
+// TestRetryTransientFaults: a source that fails a block read at most twice
+// is invisible to a reader with a 3-attempt RetryPolicy, and fatal to one
+// without.
+func TestRetryTransientFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	src := genValues[int64](rng, 4000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+	cr0, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cr0.BlockInfo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm 2 transient failures on block 3's byte range only, so the
+	// open-time header and footer reads stay clean.
+	rules := []faultio.Rule{{Kind: faultio.TransientErr, Off: int64(info.Offset), Len: int64(info.Length), Count: 2}}
+
+	// No policy: the first scan through block 3 dies with ErrIO.
+	plain, err := zukowski.OpenColumnReaderAt[int64](faultio.NewReaderAt(bytes.NewReader(data), 1, rules...), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = plain.Scan(func([]int64) bool { return true })
+	if !errors.Is(err, zukowski.ErrIO) || !errors.Is(err, zukowski.ErrCorruptColumn) {
+		t.Fatalf("no-policy Scan err = %v, want ErrIO under ErrCorruptColumn", err)
+	}
+	if errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("I/O failure misclassified as checksum mismatch: %v", err)
+	}
+	// Transient means transient: the same reader succeeds once the fault
+	// budget is exhausted, and nothing was quarantined.
+	if len(plain.QuarantinedBlocks()) != 0 {
+		t.Fatalf("transient fault quarantined blocks %v", plain.QuarantinedBlocks())
+	}
+
+	fr := faultio.NewReaderAt(bytes.NewReader(data), 1, rules...)
+	retrying, err := zukowski.OpenColumnReaderAt[int64](fr, int64(len(data)),
+		zukowski.WithRetryPolicy(zukowski.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := retrying.ReadAll(nil)
+	if err != nil {
+		t.Fatalf("ReadAll with RetryPolicy: %v", err)
+	}
+	if !slices.Equal(got, src) {
+		t.Fatal("retried read diverges from source values")
+	}
+	if st := fr.Stats(); st.Injected[faultio.TransientErr] != 2 {
+		t.Fatalf("injected %d transient faults, want 2", st.Injected[faultio.TransientErr])
+	}
+	if len(retrying.QuarantinedBlocks()) != 0 {
+		t.Fatalf("retried-away fault quarantined blocks %v", retrying.QuarantinedBlocks())
+	}
+}
+
+// TestRetryQuarantineFailFast: at-rest corruption through a ReaderAt
+// source is re-read once, then quarantined — later touches fail fast
+// without hitting the source, and the corrupt frame never enters an
+// attached cache.
+func TestRetryQuarantineFailFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	src := genValues[int64](rng, 4000)
+	data := buildColumnV2(t, zukowski.PFOR[int64]{}, 512, src)
+	cr0, err := zukowski.OpenColumn[int64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cr0.BlockInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A persistent bit-flip in block 1's payload: every read of those bytes
+	// comes back damaged.
+	fr := faultio.NewReaderAt(bytes.NewReader(data), 1,
+		faultio.Rule{Kind: faultio.BitFlip, Off: int64(info.Offset) + int64(info.Length)/2, Len: 1, Mask: 0x10})
+	cache := zukowski.NewBlockLRU(1 << 20)
+	cr, err := zukowski.OpenColumnReaderAt[int64](fr, int64(len(data)),
+		zukowski.WithBlockCache(cache),
+		zukowski.WithRetryPolicy(zukowski.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := 512 // first row of block 1
+	_, err = cr.Get(row)
+	if !errors.Is(err, zukowski.ErrBlockQuarantined) || !errors.Is(err, zukowski.ErrChecksumMismatch) {
+		t.Fatalf("Get err = %v, want quarantined checksum mismatch", err)
+	}
+	if got := cr.QuarantinedBlocks(); !slices.Equal(got, []int{1}) {
+		t.Fatalf("QuarantinedBlocks = %v", got)
+	}
+
+	// Checksum path reads the block, re-reads once to rule out in-flight
+	// corruption, and must not touch the source again afterwards.
+	before := fr.Stats().Reads
+	for i := 0; i < 5; i++ {
+		if _, err := cr.Get(row + i); !errors.Is(err, zukowski.ErrBlockQuarantined) {
+			t.Fatalf("Get after quarantine err = %v", err)
+		}
+	}
+	if after := fr.Stats().Reads; after != before {
+		t.Fatalf("quarantined block still read the source: %d -> %d reads", before, after)
+	}
+
+	// Degraded scan over the same reader: surviving rows intact — which
+	// also proves the corrupt frame never entered the cache.
+	var rep zukowski.ScanReport
+	var got []int64
+	if err := cr.Scan(func(vals []int64) bool {
+		got = append(got, vals...)
+		return true
+	}, zukowski.SkipCorrupt(&rep)); err != nil {
+		t.Fatalf("degraded Scan: %v", err)
+	}
+	want := slices.Concat(src[:512], src[1024:])
+	if !slices.Equal(got, want) {
+		t.Fatalf("degraded Scan: %d rows, want %d", len(got), len(want))
+	}
+	if rep.BlocksSkipped != 1 || rep.RowsLost != 512 {
+		t.Fatalf("report = %+v", &rep)
+	}
+}

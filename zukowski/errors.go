@@ -44,6 +44,21 @@ var (
 	// umbrella for every container-integrity failure.
 	ErrChecksumMismatch = errors.New("zukowski: checksum mismatch")
 
+	// ErrIO reports a source read that failed at the I/O layer — the
+	// ReaderAt returned an error or fewer bytes than asked — as opposed to
+	// bytes that arrived but failed validation. I/O failures are the
+	// retryable class: a ColumnReader with a RetryPolicy re-reads them with
+	// backoff before giving up. They also match ErrCorruptColumn, the
+	// umbrella for every failure to produce a block.
+	ErrIO = errors.New("zukowski: source I/O error")
+
+	// ErrBlockQuarantined reports a block whose checksum mismatch persisted
+	// across a re-read: the reader marks the block bad once and every later
+	// touch fails fast with this error instead of re-reading and re-hashing
+	// doomed bytes. Quarantined-block errors also match ErrCorruptColumn
+	// and ErrChecksumMismatch (the original cause stays in the chain).
+	ErrBlockQuarantined = errors.New("zukowski: block quarantined")
+
 	// ErrUnsupportedVersion reports a column format version this build
 	// cannot write (readers accept every released version).
 	ErrUnsupportedVersion = errors.New("zukowski: unsupported column format version")

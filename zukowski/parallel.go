@@ -19,11 +19,14 @@ import (
 // serialized, and no channel hop or consumer goroutine sits on the per-
 // block path.
 
-// ScanOption configures ParallelScan and ParallelScanWhere.
+// ScanOption configures the scan families: delivery order for the
+// parallel scans (InOrder), degraded mode for all of them (SkipCorrupt).
 type ScanOption func(*scanConfig)
 
 type scanConfig struct {
 	ordered bool
+	skip    bool
+	report  *ScanReport
 }
 
 // InOrder makes a parallel scan deliver vectors in block order — exactly
@@ -67,16 +70,20 @@ func (cr *ColumnReader[T]) ParallelScanWhere(lo, hi T, workers int, fn func(bloc
 // parallelScan scans the blocks selected by match (nil selects every
 // block) across a worker pool.
 func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn func(block int, vals []T) bool, opts []ScanOption) error {
-	seq := func() error { return cr.scanBlocks(match, fn) }
+	cfg := parseScanOpts(opts)
+	seq := func() error { return cr.scanBlocks(cfg, match, fn) }
 	work := func(st *decodeState[T], b int) (func() bool, error) {
 		vals, err := cr.readBlockInto(st, b, st.vals[:0])
 		st.vals = vals
 		if err != nil {
+			if cfg.skipBlock(int(cr.blocks[b].count), err) {
+				return nil, nil
+			}
 			return nil, err
 		}
 		return func() bool { return fn(b, vals) }, nil
 	}
-	return cr.parallelBlocks(match, workers, opts, seq, work)
+	return cr.parallelBlocks(match, workers, cfg, seq, work)
 }
 
 // parallelBlocks is the block-parallel scan engine entry point of one
@@ -84,9 +91,9 @@ func (cr *ColumnReader[T]) parallelScan(match func(b int) bool, workers int, fn 
 // decode-state pool. work decodes one block with a worker-owned state and
 // returns a deliver closure (nil to deliver nothing, e.g. a filtered
 // block without matches); seq is the one-worker degenerate case.
-func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, opts []ScanOption,
+func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, cfg *scanConfig,
 	seq func() error, work func(st *decodeState[T], b int) (func() bool, error)) error {
-	return parallelBlocksEngine(len(cr.blocks), workers, match, opts, seq, cr.getState, cr.putState, work)
+	return parallelBlocksEngine(len(cr.blocks), workers, match, cfg, seq, cr.getState, cr.putState, work)
 }
 
 // parallelBlocksEngine is the block-parallel scan engine shared by
@@ -98,13 +105,9 @@ func (cr *ColumnReader[T]) parallelBlocks(match func(b int) bool, workers int, o
 // and a deliver returning false, a work error, or a panic in the delivery
 // stops the scan with sequential-equivalent semantics. seq is the
 // one-worker degenerate case.
-func parallelBlocksEngine[S any](numBlocks, workers int, match func(b int) bool, opts []ScanOption,
+func parallelBlocksEngine[S any](numBlocks, workers int, match func(b int) bool, cfg *scanConfig,
 	seq func() error, getState func() S, putState func(S),
 	work func(st S, b int) (func() bool, error)) error {
-	var cfg scanConfig
-	for _, opt := range opts {
-		opt(&cfg)
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

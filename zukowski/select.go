@@ -58,13 +58,13 @@ func (a *Aggregate[T]) merge(b core.Aggregate[T]) {
 // A warmed sequential ScanSelect performs no heap allocation: the scan
 // holds one pooled decode state — selection scratch included — for its
 // whole pass.
-func (cr *ColumnReader[T]) ScanSelect(lo, hi T, fn func(rows []int64, vals []T) bool) error {
-	return cr.scanSelect(lo, hi, func(_ int, rows []int64, vals []T) bool { return fn(rows, vals) })
+func (cr *ColumnReader[T]) ScanSelect(lo, hi T, fn func(rows []int64, vals []T) bool, opts ...ScanOption) error {
+	return cr.scanSelect(parseScanOpts(opts), lo, hi, func(_ int, rows []int64, vals []T) bool { return fn(rows, vals) })
 }
 
 // scanSelect is the sequential filtered-scan loop shared by ScanSelect and
 // the one-worker degenerate case of ParallelScanSelect.
-func (cr *ColumnReader[T]) scanSelect(lo, hi T, fn func(block int, rows []int64, vals []T) bool) error {
+func (cr *ColumnReader[T]) scanSelect(cfg *scanConfig, lo, hi T, fn func(block int, rows []int64, vals []T) bool) error {
 	if lo > hi {
 		return nil
 	}
@@ -76,6 +76,9 @@ func (cr *ColumnReader[T]) scanSelect(lo, hi T, fn func(block int, rows []int64,
 		}
 		rows, vals, err := cr.selectBlockInto(st, b, lo, hi)
 		if err != nil {
+			if cfg.skipBlock(int(cr.blocks[b].count), err) {
+				continue
+			}
 			return err
 		}
 		if len(rows) == 0 {
@@ -98,10 +101,14 @@ func (cr *ColumnReader[T]) ParallelScanSelect(lo, hi T, workers int, fn func(blo
 	if lo > hi {
 		return nil
 	}
-	seq := func() error { return cr.scanSelect(lo, hi, fn) }
+	cfg := parseScanOpts(opts)
+	seq := func() error { return cr.scanSelect(cfg, lo, hi, fn) }
 	work := func(st *decodeState[T], b int) (func() bool, error) {
 		rows, vals, err := cr.selectBlockInto(st, b, lo, hi)
 		if err != nil {
+			if cfg.skipBlock(int(cr.blocks[b].count), err) {
+				return nil, nil
+			}
 			return nil, err
 		}
 		if len(rows) == 0 {
@@ -109,7 +116,7 @@ func (cr *ColumnReader[T]) ParallelScanSelect(lo, hi T, workers int, fn func(blo
 		}
 		return func() bool { return fn(b, rows, vals) }, nil
 	}
-	return cr.parallelBlocks(cr.zoneMatch(lo, hi), workers, opts, seq, work)
+	return cr.parallelBlocks(cr.zoneMatch(lo, hi), workers, cfg, seq, work)
 }
 
 // selectBlockInto evaluates [lo, hi] over block b into st's reusable
@@ -170,11 +177,12 @@ func (cr *ColumnReader[T]) selectBlockInto(st *decodeState[T], b int, lo, hi T) 
 // aggregate is folded from the compressed form (for PFOR without widening
 // a single code to T — Count by mask popcount, Sum from the code sum and
 // the block base). An empty or inverted range yields Count == 0.
-func (cr *ColumnReader[T]) AggregateWhere(lo, hi T) (Aggregate[T], error) {
+func (cr *ColumnReader[T]) AggregateWhere(lo, hi T, opts ...ScanOption) (Aggregate[T], error) {
 	var agg Aggregate[T]
 	if lo > hi {
 		return agg, nil
 	}
+	cfg := parseScanOpts(opts)
 	st := cr.getState()
 	defer cr.putState(st)
 	for b := range cr.blocks {
@@ -183,6 +191,9 @@ func (cr *ColumnReader[T]) AggregateWhere(lo, hi T) (Aggregate[T], error) {
 		}
 		blockAgg, err := cr.aggregateBlock(st, b, lo, hi)
 		if err != nil {
+			if cfg.skipBlock(int(cr.blocks[b].count), err) {
+				continue
+			}
 			return Aggregate[T]{}, err
 		}
 		agg.merge(blockAgg)

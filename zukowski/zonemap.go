@@ -57,8 +57,8 @@ func (cr *ColumnReader[T]) ZoneMap(b int) (min, max T, ok bool) {
 // presence). On a ZKC1 container there are no zone maps and every block
 // is scanned. The vector is reused between calls; fn must copy values it
 // keeps, and returning false stops the scan early.
-func (cr *ColumnReader[T]) ScanWhere(lo, hi T, fn func(vals []T) bool) error {
-	return cr.scanBlocks(cr.zoneMatch(lo, hi), func(_ int, vals []T) bool { return fn(vals) })
+func (cr *ColumnReader[T]) ScanWhere(lo, hi T, fn func(vals []T) bool, opts ...ScanOption) error {
+	return cr.scanBlocks(parseScanOpts(opts), cr.zoneMatch(lo, hi), func(_ int, vals []T) bool { return fn(vals) })
 }
 
 // zoneMatch returns the block predicate of a [lo, hi] range scan.
