@@ -18,6 +18,14 @@
 // produced a valid container, even an empty one; inspect the printed
 // stats to see how much survived.
 //
+// Pass a zktable directory (or -fsck) to run the table-level
+// consistency walk instead: segdump picks the manifest generation startup
+// recovery would serve and verifies every block payload of every
+// committed segment column against the manifest's hoisted checksums and
+// zone maps, exiting non-zero on any mismatch. -verify on a directory
+// prints only the one-line summary. The walk is read-only, so it is safe
+// against a live or just-crashed table.
+//
 // With no arguments it generates a demo segment and dumps it; pass a file
 // path to dump a segment or column from disk, with -t choosing the
 // element type.
@@ -30,8 +38,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
-	"path/filepath"
 
+	"repro/zktable"
 	"repro/zukowski"
 )
 
@@ -39,11 +47,22 @@ func main() {
 	elem := flag.String("t", "int64", "element type: int8|int16|int32|int64|uint8|uint16|uint32|uint64")
 	verifyOnly := flag.Bool("verify", false, "verify integrity only: print a one-line summary instead of the block table, still exiting non-zero on any corrupt block")
 	repairOut := flag.String("repair", "", "salvage the readable prefix of a damaged column container into this output path")
+	fsckDir := flag.Bool("fsck", false, "treat the argument as a zktable directory and run the full offline consistency walk")
 	flag.Parse()
 
 	var buf []byte
 	if flag.NArg() >= 1 {
-		var err error
+		st, err := os.Stat(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *fsckDir || st.IsDir() {
+			if err := fsck(flag.Arg(0), *verifyOnly); err != nil {
+				fmt.Fprintf(os.Stderr, "segdump: fsck: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		buf, err = os.ReadFile(flag.Arg(0))
 		if err != nil {
 			log.Fatal(err)
@@ -80,6 +99,39 @@ func main() {
 	}
 }
 
+// fsck runs the table-level consistency walk and renders the report. A
+// non-nil return (unusable directory or any integrity problem) makes the
+// process exit non-zero; orphan files — the normal debris of a crash —
+// are reported but do not fail the check.
+func fsck(dir string, verifyOnly bool) error {
+	rep, err := zktable.Fsck(dir)
+	if err != nil {
+		return err
+	}
+	if !verifyOnly {
+		fmt.Printf("table:         %s\n", rep.Dir)
+		fmt.Printf("generation:    %d\n", rep.Generation)
+		fmt.Printf("rows:          %d in %d segments\n", rep.Rows, rep.Segments)
+		fmt.Printf("columns:       %v\n", rep.Columns)
+		fmt.Printf("blocks:        %d payloads verified\n", rep.BlocksVerified)
+		for _, o := range rep.Orphans {
+			fmt.Printf("orphan:        %s (informational; swept by the next open)\n", o)
+		}
+		for _, m := range rep.CorruptManifests {
+			fmt.Printf("CORRUPT:       %s\n", m)
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("PROBLEM:       %s\n", p)
+		}
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%d problems in generation %d", len(rep.Problems), rep.Generation)
+	}
+	fmt.Printf("table verified: generation %d, %d rows, %d segments, %d blocks checked, %d orphans\n",
+		rep.Generation, rep.Rows, rep.Segments, rep.BlocksVerified, len(rep.Orphans))
+	return nil
+}
+
 // repair salvages the container in buf into outPath. The recovered bytes
 // are staged in a temp file beside outPath and renamed into place, so a
 // crash mid-repair never leaves a half-written output.
@@ -106,24 +158,8 @@ func repair(elem, outPath string, buf []byte) error {
 }
 
 func repairAs[T zukowski.Integer](outPath string, buf []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(outPath), "."+filepath.Base(outPath)+".tmp-*")
+	stats, err := zukowski.RecoverColumnFile[T](bytes.NewReader(buf), int64(len(buf)), outPath)
 	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	stats, err := zukowski.RecoverColumn[T](bytes.NewReader(buf), int64(len(buf)), tmp)
-	if err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), outPath); err != nil {
 		return err
 	}
 	fmt.Printf("recovered %d blocks, %d rows: %d B in, %d B out, %d B dropped\n",

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/zktable"
 	"repro/zukowski"
 )
 
@@ -69,5 +72,59 @@ func TestRunExitContract(t *testing.T) {
 
 	if err := run("float64", false, good); err == nil {
 		t.Fatal("unknown element type went unreported")
+	}
+}
+
+// TestFsckExitContract pins the table-directory probe: fsck returns nil
+// for an intact table and an error for any committed-data mismatch, in
+// both full and -verify modes, so the exit code alone gates a pipeline.
+func TestFsckExitContract(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb, err := zktable.Create[int64](dir, []string{"a", "b"}, 512, zktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = int64(i % 97)
+	}
+	if _, err := tb.Append([][]int64{vals, vals}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Close()
+
+	for _, verifyOnly := range []bool{false, true} {
+		if err := fsck(dir, verifyOnly); err != nil {
+			t.Fatalf("verify=%v: clean table reported %v", verifyOnly, err)
+		}
+	}
+
+	// An orphan temp file is informational, not a failure.
+	if err := os.WriteFile(filepath.Join(dir, ".seg-00000002-a.zkc.tmp-9"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsck(dir, true); err != nil {
+		t.Fatalf("orphan temp failed the check: %v", err)
+	}
+
+	// A flipped payload byte must fail both modes.
+	p := filepath.Join(dir, "seg-00000001-b.zkc")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, verifyOnly := range []bool{false, true} {
+		if err := fsck(dir, verifyOnly); err == nil {
+			t.Fatalf("verify=%v: corrupt segment column went unreported", verifyOnly)
+		}
+	}
+
+	// A non-table directory is an error, not a zero exit.
+	if err := fsck(t.TempDir(), true); err == nil {
+		t.Fatal("non-table directory went unreported")
 	}
 }

@@ -168,11 +168,13 @@ func main() {
 	}
 }
 
-// parseGenSpec parses name:rows:cols[:blockValues[:codec]].
+// parseGenSpec parses name:rows:cols[:blockValues[:codec[:segments]]].
+// segments > 1 generates a sharded zktable directory (rows per segment)
+// instead of flat per-column files.
 func parseGenSpec(s string, seed int64) (zkserve.TableSpec, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) < 3 || len(parts) > 5 {
-		return zkserve.TableSpec{}, fmt.Errorf("want name:rows:cols[:blockValues[:codec]], got %q", s)
+	if len(parts) < 3 || len(parts) > 6 {
+		return zkserve.TableSpec{}, fmt.Errorf("want name:rows:cols[:blockValues[:codec[:segments]]], got %q", s)
 	}
 	spec := zkserve.TableSpec{Name: parts[0], Seed: seed}
 	var err error
@@ -189,6 +191,11 @@ func parseGenSpec(s string, seed int64) (zkserve.TableSpec, error) {
 	}
 	if len(parts) > 4 {
 		spec.Codec = parts[4]
+	}
+	if len(parts) > 5 {
+		if spec.Segments, err = strconv.Atoi(parts[5]); err != nil {
+			return spec, fmt.Errorf("segments: %w", err)
+		}
 	}
 	return spec, nil
 }

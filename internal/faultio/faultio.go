@@ -241,6 +241,10 @@ func (w *Writer) Write(p []byte) (int, error) {
 // (hex or decimal byte). Example:
 //
 //	transient,count=2,prob=0.05;bitflip,off=16,len=64
+//
+// A schedule with no rules at all is an error: every caller that reaches
+// ParseSchedule asked for fault injection, and silently arming nothing
+// would make a chaos run vacuously green.
 func ParseSchedule(s string) ([]Rule, error) {
 	var rules []Rule
 	for _, ent := range strings.Split(s, ";") {
@@ -292,7 +296,16 @@ func ParseSchedule(s string) ([]Rule, error) {
 				return nil, fmt.Errorf("faultio: bad %s value %q: %w", key, val, err)
 			}
 		}
+		if r.Off < 0 {
+			return nil, fmt.Errorf("faultio: negative off %d in %q", r.Off, ent)
+		}
+		if r.Len < 0 {
+			return nil, fmt.Errorf("faultio: negative len %d in %q", r.Len, ent)
+		}
 		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultio: empty schedule %q", s)
 	}
 	return rules, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 	"time"
 )
@@ -181,13 +182,36 @@ func TestParseSchedule(t *testing.T) {
 			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
 		}
 	}
-	for _, bad := range []string{"explode", "transient,count", "transient,count=x", "transient,frequency=1"} {
-		if _, err := ParseSchedule(bad); err == nil {
-			t.Fatalf("ParseSchedule(%q) accepted", bad)
-		}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		schedule string
+		wantSub  string
+	}{
+		{"explode", "unknown fault kind"},
+		{"bitflip;explode,off=3", "unknown fault kind"},
+		{"transient,count", "want key=value"},
+		{"transient,count=x", "bad count value"},
+		{"transient,frequency=1", "unknown schedule key"},
+		{"latency,delay=fast", "bad delay value"},
+		{"bitflip,mask=512", "bad mask value"},
+		{"bitflip,off=-1", "negative off"},
+		{"permanent,len=-8", "negative len"},
+		{"transient,off=-5,len=-5", "negative off"},
+		{"", "empty schedule"},
+		{";", "empty schedule"},
+		{" ; ; ", "empty schedule"},
 	}
-	if rules, err := ParseSchedule(""); err != nil || len(rules) != 0 {
-		t.Fatalf("empty schedule = %v, %v", rules, err)
+	for _, tc := range cases {
+		rules, err := ParseSchedule(tc.schedule)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) accepted: %+v", tc.schedule, rules)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSchedule(%q) = %v, want mention of %q", tc.schedule, err, tc.wantSub)
+		}
 	}
 }
 

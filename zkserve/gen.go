@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/experiments"
+	"repro/zktable"
 	"repro/zukowski"
 )
 
@@ -15,25 +16,33 @@ import (
 // values, so zone maps prune range predicates on it); the rest are the
 // PFOR-friendly skewed distribution the paper benchmarks. Codec names a
 // registered codec for every column; empty picks per-block automatically.
+// Segments > 1 generates a sharded zktable directory instead of flat
+// per-column files: Segments manifest-committed segments of Rows rows
+// each, the layout the crash-recovery and sharded-serve paths exercise.
 type TableSpec struct {
 	Name        string
-	Rows        int
+	Rows        int // rows per segment when Segments > 1
 	Cols        int
 	BlockValues int
 	Seed        int64
 	Codec       string
+	Segments    int
 }
 
 // GenerateTable writes spec under dir as a table directory OpenDir can
-// load: dir/<Name>/c0.zkc ... c<Cols-1>.zkc. It exists for cmd/zkserved
-// -gen, the integration tests and the CI serve job, which need a
-// deterministic corpus without shipping one.
+// load: dir/<Name>/c0.zkc ... c<Cols-1>.zkc, or a zktable directory when
+// Segments > 1. It exists for cmd/zkserved -gen, the integration tests
+// and the CI serve job, which need a deterministic corpus without
+// shipping one.
 func GenerateTable(dir string, spec TableSpec) error {
 	if spec.Name == "" || spec.Rows <= 0 || spec.Cols <= 0 {
 		return fmt.Errorf("%w: table spec needs a name, rows and columns", ErrBadRequest)
 	}
 	if spec.BlockValues <= 0 {
 		spec.BlockValues = 4096
+	}
+	if spec.Segments > 1 {
+		return generateSharded(dir, spec)
 	}
 	var codec zukowski.Codec[int64]
 	if spec.Codec != "" {
@@ -59,6 +68,36 @@ func GenerateTable(dir string, spec TableSpec) error {
 		// torn container that the next OpenDir refuses to serve.
 		path := filepath.Join(tdir, fmt.Sprintf("c%d.zkc", c))
 		if err := zukowski.WriteColumnAtomic(path, codec, spec.BlockValues, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generateSharded builds the zktable variant: the same per-column
+// distributions, committed as Segments generations of Rows rows each.
+func generateSharded(dir string, spec TableSpec) error {
+	cols := make([]string, spec.Cols)
+	for c := range cols {
+		cols[c] = fmt.Sprintf("c%d", c)
+	}
+	tdir := filepath.Join(dir, spec.Name)
+	tb, err := zktable.Create[int64](tdir, cols, spec.BlockValues, zktable.Options{Codec: spec.Codec})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	for s := 0; s < spec.Segments; s++ {
+		seg := make([][]int64, spec.Cols)
+		for c := 0; c < spec.Cols; c++ {
+			if c == 0 {
+				seg[c] = experiments.SynthSorted(rng, spec.Rows, 3)
+			} else {
+				seg[c] = experiments.SynthPFOR(rng, spec.Rows, 10, 0.02)
+			}
+		}
+		if _, err := tb.Append(seg); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/zktable"
 	"repro/zukowski"
 )
 
@@ -153,6 +154,13 @@ func openColumn[T zukowski.Integer](name string, mem []byte, src io.ReaderAt, si
 	if err != nil {
 		return nil, err
 	}
+	return handleFromReader(name, cr)
+}
+
+// handleFromReader builds the typed handle around an already-open reader
+// — the path sharded tables use, whose readers belong to the zktable
+// handle.
+func handleFromReader[T zukowski.Integer](name string, cr *zukowski.ColumnReader[T]) (colHandle, error) {
 	c := &column[T]{name: name, cr: cr}
 	nb := cr.NumBlocks()
 	c.starts = make([]int64, nb)
@@ -211,17 +219,72 @@ func newColHandle(name string, mem []byte, src io.ReaderAt, size int64, opts []z
 // can be scanned together (same geometry, and for row mode the same
 // element width) is checked per request, so one malformed column poisons
 // only the requests that touch it.
+//
+// A table is either flat (cols, one container per column — the classic
+// layout) or sharded (segs, backed by a zktable directory: one committed
+// manifest generation spanning many immutable segments). Sharded tables
+// expose the committed generation and quarantine state on /tables and
+// execute every scan per segment with global row and block numbering.
 type Table struct {
 	name   string
 	cols   []colHandle
 	byName map[string]int
+
+	// Sharded (zktable-backed) state.
+	isShard   bool
+	segs      []*servedSeg
+	colNames  []string // schema order, from the manifest
+	gen       uint64   // committed generation being served
+	totalRows int64    // committed rows, including quarantined segments
+}
+
+// sharded reports whether the table is zktable-backed.
+func (t *Table) sharded() bool { return t.isShard }
+
+// allCols returns every live column handle — the flat list, or the
+// handles of every in-service segment of a sharded table.
+func (t *Table) allCols() []colHandle {
+	if !t.sharded() {
+		return t.cols
+	}
+	var out []colHandle
+	for _, s := range t.segs {
+		if s.sub != nil {
+			out = append(out, s.sub.cols...)
+		}
+	}
+	return out
+}
+
+// colName returns column i's name in schema order.
+func (t *Table) colName(i int) string {
+	if t.sharded() {
+		return t.colNames[i]
+	}
+	return t.cols[i].colName()
+}
+
+// colWidth returns column i's element width in bytes.
+func (t *Table) colWidth(i int) int {
+	if t.sharded() {
+		for _, s := range t.segs {
+			if s.sub != nil {
+				return s.sub.cols[i].widthBytes()
+			}
+		}
+		return 8 // every segment quarantined; width is moot
+	}
+	return t.cols[i].widthBytes()
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
-// Columns returns the column names in registration order.
+// Columns returns the column names in registration (schema) order.
 func (t *Table) Columns() []string {
+	if t.sharded() {
+		return append([]string(nil), t.colNames...)
+	}
 	names := make([]string, len(t.cols))
 	for i, c := range t.cols {
 		names[i] = c.colName()
@@ -257,16 +320,27 @@ type ColumnMeta struct {
 // TableMeta describes one table in the /tables capability listing.
 type TableMeta struct {
 	Name    string       `json:"name"`
-	Rows    int          `json:"rows"` // rows of the first column
+	Rows    int          `json:"rows"` // committed rows (first column for flat tables)
 	Columns []ColumnMeta `json:"columns"`
 
-	// Degraded is set when any column has quarantined blocks: exact scans
-	// over those blocks fail, degraded scans skip them.
+	// Sharded (zktable-backed) tables also report the committed manifest
+	// generation they serve and their segment-level health.
+	Generation          uint64 `json:"generation,omitempty"`
+	Segments            int    `json:"segments,omitempty"`
+	QuarantinedSegments int    `json:"quarantined_segments,omitempty"`
+	RowsUnavailable     int64  `json:"rows_unavailable,omitempty"`
+
+	// Degraded is set when any column has quarantined blocks or any
+	// segment is quarantined: exact scans over them fail, degraded scans
+	// skip them.
 	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Meta returns the table's capability listing entry.
 func (t *Table) Meta() TableMeta {
+	if t.sharded() {
+		return t.metaSharded()
+	}
 	m := TableMeta{Name: t.name}
 	if len(t.cols) > 0 {
 		m.Rows = t.cols[0].rows()
@@ -351,7 +425,7 @@ func (r *Registry) EnableCache(maxBytes int64) {
 		r.cache = zukowski.NewBlockLRU(maxBytes)
 	}
 	for _, t := range r.tables {
-		for _, c := range t.cols {
+		for _, c := range t.allCols() {
 			c.setCache(blockCacheOrNil(r.cache))
 		}
 	}
@@ -392,8 +466,23 @@ func (r *Registry) CacheStats() zukowski.CacheStats {
 func (r *Registry) QuarantinedBlocks() int64 {
 	var n int64
 	for _, t := range r.tables {
-		for _, c := range t.cols {
+		for _, c := range t.allCols() {
 			n += int64(c.quarantinedBlocks())
+		}
+	}
+	return n
+}
+
+// QuarantinedSegments sums segments out of service across all sharded
+// tables. Like QuarantinedBlocks it is read-only introspection for
+// health reporting; per-table detail is on /tables.
+func (r *Registry) QuarantinedSegments() int {
+	n := 0
+	for _, t := range r.tables {
+		for _, s := range t.segs {
+			if s.quarErr != nil {
+				n++
+			}
 		}
 	}
 	return n
@@ -428,6 +517,9 @@ func (r *Registry) table(name string) *Table {
 
 func (r *Registry) addHandle(table string, h colHandle) error {
 	t := r.table(table)
+	if t.sharded() {
+		return fmt.Errorf("%w: table %q is sharded; individual columns cannot be added", ErrBadRequest, table)
+	}
 	if _, dup := t.byName[h.colName()]; dup {
 		return fmt.Errorf("%w: table %q already has column %q", ErrBadRequest, table, h.colName())
 	}
@@ -489,8 +581,11 @@ func (r *Registry) AddColumnFile(table, col, path string) error {
 }
 
 // OpenDir builds a registry from a data directory: every subdirectory is
-// a table, every *.zkc file inside it a column named after the file.
-// A directory with no tables yields an empty registry, not an error.
+// a table. A subdirectory holding a zktable manifest is served as a
+// sharded table (segments, generation and quarantine state included);
+// otherwise every *.zkc file inside it is a flat column named after the
+// file. A directory with no tables yields an empty registry, not an
+// error.
 func OpenDir(dir string, opts ...RegistryOption) (*Registry, error) {
 	r := NewRegistry(opts...)
 	entries, err := os.ReadDir(dir)
@@ -502,6 +597,13 @@ func OpenDir(dir string, opts ...RegistryOption) (*Registry, error) {
 			continue
 		}
 		table := e.Name()
+		if zktable.IsTableDir(filepath.Join(dir, table)) {
+			if err := r.AddShardedTable(table, filepath.Join(dir, table)); err != nil {
+				r.Close()
+				return nil, err
+			}
+			continue
+		}
 		files, err := os.ReadDir(filepath.Join(dir, table))
 		if err != nil {
 			r.Close()

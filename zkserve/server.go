@@ -438,7 +438,7 @@ func (s *Server) runAgg(ctx context.Context, w http.ResponseWriter, req *ScanReq
 	resp := AggResponse{
 		Table:     req.Table,
 		Agg:       req.Agg,
-		Col:       plan.table.cols[aggCol].colName(),
+		Col:       plan.table.colName(aggCol),
 		Result:    res,
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
@@ -529,8 +529,7 @@ func (s *Server) runFrames(ctx context.Context, w http.ResponseWriter, plan *sca
 	fw := newFrameWriter(w)
 	cols := make([]FrameStreamCol, len(plan.out))
 	for i, ci := range plan.out {
-		c := plan.table.cols[ci]
-		cols[i] = FrameStreamCol{Name: c.colName(), WidthBytes: c.widthBytes()}
+		cols[i] = FrameStreamCol{Name: plan.table.colName(ci), WidthBytes: plan.table.colWidth(ci)}
 	}
 	fw.header(cols)
 
@@ -608,14 +607,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	// Quarantined blocks degrade the body but not the status: the server
-	// still answers every scan that avoids (or skips) the bad blocks, so
-	// load balancers should keep routing here while operators repair.
-	if n := s.reg.QuarantinedBlocks(); n > 0 {
-		fmt.Fprintf(w, "degraded: %d blocks quarantined\n", n)
-		return
+	// Quarantined blocks or segments degrade the body but not the
+	// status: the server still answers every scan that avoids (or skips)
+	// the bad data, so load balancers should keep routing here while
+	// operators repair.
+	blocks, segs := s.reg.QuarantinedBlocks(), s.reg.QuarantinedSegments()
+	switch {
+	case blocks > 0 && segs > 0:
+		fmt.Fprintf(w, "degraded: %d blocks, %d segments quarantined\n", blocks, segs)
+	case blocks > 0:
+		fmt.Fprintf(w, "degraded: %d blocks quarantined\n", blocks)
+	case segs > 0:
+		fmt.Fprintf(w, "degraded: %d segments quarantined\n", segs)
+	default:
+		w.Write([]byte("ok\n"))
 	}
-	w.Write([]byte("ok\n"))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

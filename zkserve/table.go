@@ -108,6 +108,9 @@ func (p *scanPlan) uniformWidth(involved []int) (int, error) {
 // header is committed: geometry and width agreement across the involved
 // columns. Mapped to 422 by the HTTP layer.
 func (p *scanPlan) validateRowMode() error {
+	if p.table.sharded() {
+		return p.validateSharded(true)
+	}
 	inv := p.involved()
 	if err := p.checkGeometry(inv); err != nil {
 		return err
@@ -119,6 +122,9 @@ func (p *scanPlan) validateRowMode() error {
 // validateFrameMode checks what frame-mode streaming needs: geometry
 // only — frames of different element widths ship side by side fine.
 func (p *scanPlan) validateFrameMode() error {
+	if p.table.sharded() {
+		return p.validateSharded(false)
+	}
 	return p.checkGeometry(p.involved())
 }
 
@@ -128,6 +134,9 @@ func (p *scanPlan) validateFrameMode() error {
 // columns — the denominator feeding the bytes-scanned and prune-rate
 // metrics. Call only after geometry validation.
 func (p *scanPlan) blockStats() (scanned, pruned int, rawBytes int64) {
+	if p.table.sharded() {
+		return p.blockStatsSharded()
+	}
 	inv := p.involved()
 	first := p.table.cols[inv[0]]
 	rowWidth := int64(0)
@@ -158,6 +167,9 @@ func (p *scanPlan) blockStats() (scanned, pruned int, rawBytes int64) {
 // rows[j]). The slices are reused between calls. emit returning false
 // stops the scan cleanly (nil); context death returns ctx.Err().
 func (p *scanPlan) run(ctx context.Context, emit func(rows []int64, vals [][]int64) bool) error {
+	if p.table.sharded() {
+		return p.runSharded(ctx, emit)
+	}
 	inv := p.involved()
 	w, err := p.uniformWidth(inv)
 	if err != nil {
@@ -187,6 +199,9 @@ type AggResult struct {
 // aggregate executes the plan as an aggregate over output column
 // aggCol (an index into table.cols, which must be in p.out or p.preds).
 func (p *scanPlan) aggregate(ctx context.Context, aggCol int) (AggResult, error) {
+	if p.table.sharded() {
+		return p.aggregateSharded(ctx, aggCol)
+	}
 	inv := p.involved()
 	w, err := p.uniformWidth(inv)
 	if err != nil {
@@ -281,6 +296,9 @@ func runAggregate[T zukowski.Integer](ctx context.Context, p *scanPlan, involved
 // fresh per-block read; emit must not modify them. emit returning false
 // stops cleanly; context death returns ctx.Err() at block granularity.
 func (p *scanPlan) streamBlocks(ctx context.Context, emit func(b int, firstRow int64, count int, frames [][]byte) bool) error {
+	if p.table.sharded() {
+		return p.streamBlocksSharded(ctx, emit)
+	}
 	first := p.table.cols[p.involved()[0]]
 	frames := make([][]byte, len(p.out))
 	for _, ps := range p.preds {

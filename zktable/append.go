@@ -1,0 +1,350 @@
+package zktable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/zukowski"
+)
+
+// writeAtomic stages name in a temp file in the table directory, runs
+// body against it (through the fault-injection wrapper when one is
+// configured), fsyncs, renames into place, and fsyncs the directory —
+// the WriteColumnAtomic discipline. Every failure closes and removes the
+// temp file, so a torn write leaves at worst a sweepable orphan (when
+// the process died before the cleanup ran), never a half-visible file.
+func (t *Table[T]) writeAtomic(name string, body func(io.Writer) error) (err error) {
+	path := filepath.Join(t.dir, name)
+	tmp, err := os.CreateTemp(t.dir, "."+name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := io.Writer(tmp)
+	if t.opts.WriteWrapper != nil {
+		w = t.opts.WriteWrapper(name, w)
+	}
+	if err = body(w); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best effort: not every filesystem supports fsync on a directory.
+	if d, derr := os.Open(t.dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// writeColumn writes one segment column container atomically.
+func (t *Table[T]) writeColumn(name string, vals []T) error {
+	return t.writeAtomic(name, func(w io.Writer) error {
+		cw, err := zukowski.NewColumnWriter[T](w, t.codec, t.bv)
+		if err != nil {
+			return err
+		}
+		if err := cw.Write(vals); err != nil {
+			return err
+		}
+		return cw.Close()
+	})
+}
+
+// writeManifest commits one generation atomically.
+func (t *Table[T]) writeManifest(m *manifest) error {
+	return t.writeAtomic(manifestName(m.Generation), func(w io.Writer) error {
+		_, err := w.Write(m.encode())
+		return err
+	})
+}
+
+// loadSegment opens the freshly written segment id, hoists its directory
+// statistics into a manifest entry, and builds the serving segment — one
+// open for both jobs. wantRows guards against the writer and the reader
+// disagreeing about what was just written.
+func (t *Table[T]) loadSegment(id uint64, wantRows int64) (seg *segment[T], sm *segMeta, err error) {
+	sm = &segMeta{ID: id, Rows: wantRows, Cols: make([]colSlice, len(t.cols))}
+	seg = &segment[T]{id: id, rows: wantRows}
+	defer func() {
+		if err != nil {
+			seg.close()
+		}
+	}()
+	var rdOpts []zukowski.ReaderOption
+	if t.opts.Retry.MaxAttempts > 1 {
+		rdOpts = append(rdOpts, zukowski.WithRetryPolicy(t.opts.Retry))
+	}
+	for ci, col := range t.cols {
+		f, ferr := os.Open(filepath.Join(t.dir, segFileName(id, col)))
+		if ferr != nil {
+			return seg, sm, ferr
+		}
+		seg.files = append(seg.files, f)
+		st, ferr := f.Stat()
+		if ferr != nil {
+			return seg, sm, ferr
+		}
+		var src io.ReaderAt = f
+		if t.opts.SourceWrapper != nil {
+			src = t.opts.SourceWrapper(src, st.Size())
+		}
+		cr, ferr := zukowski.OpenColumnReaderAt[T](src, st.Size(), rdOpts...)
+		if ferr != nil {
+			return seg, sm, fmt.Errorf("column %q: reopening just-written segment: %w", col, ferr)
+		}
+		if int64(cr.Len()) != wantRows {
+			return seg, sm, fmt.Errorf("column %q: wrote %d rows, container holds %d", col, wantRows, cr.Len())
+		}
+		cs := &sm.Cols[ci]
+		cs.FileSize = st.Size()
+		nb := cr.NumBlocks()
+		if ci == 0 {
+			sm.Counts = make([]uint32, nb)
+		} else if nb != len(sm.Counts) {
+			return seg, sm, fmt.Errorf("column %q: %d blocks, column %q has %d", col, nb, t.cols[0], len(sm.Counts))
+		}
+		cs.CRCs = make([]uint32, nb)
+		cs.MinBits = make([]uint64, nb)
+		cs.MaxBits = make([]uint64, nb)
+		for b := 0; b < nb; b++ {
+			info, berr := cr.BlockInfo(b)
+			if berr != nil {
+				return seg, sm, berr
+			}
+			if ci == 0 {
+				sm.Counts[b] = uint32(info.Count)
+			} else if uint32(info.Count) != sm.Counts[b] {
+				return seg, sm, fmt.Errorf("column %q: block %d geometry diverges", col, b)
+			}
+			cs.CRCs[b] = info.CRC32C
+			cs.MinBits[b] = zoneBitsOf(info.Min)
+			cs.MaxBits[b] = zoneBitsOf(info.Max)
+		}
+		if t.cache != nil {
+			cr.SetBlockCache(t.cache)
+		}
+		seg.rdrs = append(seg.rdrs, cr)
+	}
+	seg.counts = sm.Counts
+	seg.set, err = zukowski.NewColumnSet(seg.rdrs...)
+	if err != nil {
+		return seg, sm, err
+	}
+	return seg, sm, nil
+}
+
+// Append writes cols (one value slice per schema column, equal lengths)
+// as a new immutable segment and commits it as the next generation. The
+// segment's files are written first and become real only when the new
+// manifest references them: a crash at any byte before the manifest
+// rename leaves orphans the next Open sweeps, and the table exactly as
+// previously committed. Returns the new generation.
+//
+// Append serializes with other writers; concurrent scans keep running
+// against the generation they snapshotted and see the new rows on their
+// next scan.
+func (t *Table[T]) Append(cols [][]T) (uint64, error) {
+	t.ingest.Lock()
+	defer t.ingest.Unlock()
+	t.mu.RLock()
+	closed, man := t.closed, t.man
+	t.mu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	if len(cols) != len(t.cols) {
+		return 0, fmt.Errorf("zktable: Append got %d columns, schema has %d", len(cols), len(t.cols))
+	}
+	n := int64(len(cols[0]))
+	if n == 0 {
+		return 0, fmt.Errorf("zktable: Append of zero rows")
+	}
+	for ci := range cols {
+		if int64(len(cols[ci])) != n {
+			return 0, fmt.Errorf("zktable: column %q holds %d rows, column %q holds %d",
+				t.cols[ci], len(cols[ci]), t.cols[0], n)
+		}
+	}
+
+	id := t.nextSeg
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			os.Remove(filepath.Join(t.dir, name))
+		}
+	}
+	for ci, col := range t.cols {
+		name := segFileName(id, col)
+		if err := t.writeColumn(name, cols[ci]); err != nil {
+			cleanup()
+			return 0, err
+		}
+		written = append(written, name)
+	}
+	seg, sm, err := t.loadSegment(id, n)
+	if err != nil {
+		seg.close()
+		cleanup()
+		return 0, err
+	}
+	newMan := &manifest{
+		Generation:  man.Generation + 1,
+		Width:       man.Width,
+		BlockValues: man.BlockValues,
+		Rows:        man.Rows + n,
+		Cols:        man.Cols,
+		Segs:        append(append([]segMeta{}, man.Segs...), *sm),
+	}
+	if err := t.writeManifest(newMan); err != nil {
+		seg.close()
+		cleanup()
+		return 0, err
+	}
+	t.publish(newMan, func() {
+		t.segs = append(append([]*segment[T]{}, t.segs...), seg)
+		t.starts = append(append([]int64{}, t.starts...), t.rows)
+		t.rows += n
+		t.nextSeg = id + 1
+	})
+	t.pruneAfterCommit()
+	return newMan.Generation, nil
+}
+
+// Compact rewrites every live row into one fresh segment and commits a
+// generation referencing only it — the defragmentation pass that keeps
+// block geometry uniform and zone maps tight after many small appends.
+// The protocol is Append's: new files first, then the manifest, so an
+// interrupted compaction is invisible. Old segment files linger until
+// the manifests referencing them age out of retention. Refuses to run
+// with quarantined segments, which would silently drop committed rows.
+func (t *Table[T]) Compact() (uint64, error) {
+	t.ingest.Lock()
+	defer t.ingest.Unlock()
+	segs, _, _, rows, err := t.snapshot()
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	man := t.man
+	t.mu.RUnlock()
+	for _, s := range segs {
+		if s.quar != nil {
+			return 0, fmt.Errorf("compact: %w", s.quar)
+		}
+	}
+	if len(segs) <= 1 {
+		return man.Generation, nil
+	}
+
+	id := t.nextSeg
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			os.Remove(filepath.Join(t.dir, name))
+		}
+	}
+	vals := make([]T, 0, rows)
+	for ci, col := range t.cols {
+		vals = vals[:0]
+		for _, s := range segs {
+			if vals, err = s.rdrs[ci].ReadAll(vals); err != nil {
+				cleanup()
+				return 0, fmt.Errorf("compact: column %q segment %d: %w", col, s.id, err)
+			}
+		}
+		name := segFileName(id, col)
+		if err := t.writeColumn(name, vals); err != nil {
+			cleanup()
+			return 0, err
+		}
+		written = append(written, name)
+	}
+	seg, sm, err := t.loadSegment(id, rows)
+	if err != nil {
+		seg.close()
+		cleanup()
+		return 0, err
+	}
+	newMan := &manifest{
+		Generation:  man.Generation + 1,
+		Width:       man.Width,
+		BlockValues: man.BlockValues,
+		Rows:        rows,
+		Cols:        man.Cols,
+		Segs:        []segMeta{*sm},
+	}
+	if err := t.writeManifest(newMan); err != nil {
+		seg.close()
+		cleanup()
+		return 0, err
+	}
+	t.publish(newMan, func() {
+		t.retired = append(t.retired, t.segs...)
+		t.segs = []*segment[T]{seg}
+		t.starts = []int64{0}
+		t.nextSeg = id + 1
+	})
+	t.pruneAfterCommit()
+	return newMan.Generation, nil
+}
+
+// publish swaps in the new committed state under the write lock. mutate
+// runs with the lock held and must replace (never modify) the published
+// slices — scans hold snapshots of the old ones.
+func (t *Table[T]) publish(newMan *manifest, mutate func()) {
+	t.mu.Lock()
+	t.man = newMan
+	mutate()
+	t.mu.Unlock()
+	t.recent = append([]*manifest{newMan}, t.recent...)
+}
+
+// pruneAfterCommit drops manifests beyond the retention window and
+// sweeps segment files no retained manifest references (compacted-away
+// segments whose last referencing manifest just aged out). Runs under
+// the ingest lock; all removals are best-effort — anything missed is
+// swept by the next Open.
+func (t *Table[T]) pruneAfterCommit() {
+	keep := t.opts.keep()
+	if len(t.recent) <= keep {
+		return
+	}
+	drop := t.recent[keep:]
+	t.recent = t.recent[:keep:keep]
+	for _, m := range drop {
+		os.Remove(filepath.Join(t.dir, manifestName(m.Generation)))
+	}
+	referenced := map[string]bool{}
+	for _, m := range t.recent {
+		for i := range m.Segs {
+			for _, col := range m.Cols {
+				referenced[segFileName(m.Segs[i].ID, col)] = true
+			}
+		}
+	}
+	ents, err := os.ReadDir(t.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if name := e.Name(); strings.HasPrefix(name, segPrefix) && !referenced[name] {
+			os.Remove(filepath.Join(t.dir, name))
+		}
+	}
+}

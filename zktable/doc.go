@@ -1,0 +1,56 @@
+// Package zktable stores one table as a directory of immutable
+// column-segment files bound together by a versioned, checksummed
+// manifest — the multi-file durability layer between the zukowski column
+// engine and anything that must survive kill -9 mid-ingest.
+//
+// # Layout
+//
+// A table directory holds three kinds of files:
+//
+//   - MANIFEST-<generation>: the table's committed state, a small binary
+//     object (see manifest.go for the byte layout) naming every live
+//     segment and hoisting its row counts, per-block zone maps and
+//     payload CRC32-Cs. Queries prune across files without opening them,
+//     and Open cross-checks every segment against the hoisted copy.
+//   - seg-<id>-<column>.zkc: one column of one segment, an ordinary
+//     ZKC2 container (immutable once referenced by a manifest).
+//   - .*.tmp-*: in-flight atomic writes; any that survive a crash are
+//     orphans and are swept by the next Open.
+//
+// # Commit protocol
+//
+// Append writes every column of the new segment with the
+// WriteColumnAtomic discipline (temp file in the table directory, fsync
+// file, rename, fsync directory), then commits by writing
+// MANIFEST-<generation+1> the same way. Segment files are invisible —
+// mere orphans — until a manifest generation references them, so a crash
+// at any byte of an ingest leaves the previous generation fully intact:
+// either the new manifest rename happened (the commit is durable and
+// complete) or it did not (the new files are swept and the table reopens
+// exactly as before). Compact follows the same protocol with a single
+// replacement segment.
+//
+// # Recovery
+//
+// Open picks the highest-generation manifest that parses and passes its
+// CRC32-C, falling back to older retained generations when newer ones
+// are damaged. It then sweeps temp files, manifests beyond the retention
+// window, and segment files no retained manifest references; opens and
+// spot-verifies every referenced segment against the manifest (file
+// size, geometry, per-block CRCs and zone maps); and — per Options —
+// salvages damaged segments via zukowski.RecoverColumn or quarantines
+// them with exact loss accounting. Quarantined segments fail exact scans
+// with ErrSegmentQuarantined; scans running under zukowski.SkipCorrupt
+// skip them and record every lost block and row in the caller's
+// ScanReport, the same contract the block engine applies within a
+// segment. Fsck performs the full read-only walk (every payload CRC of
+// every block) for ops; segdump -fsck exposes it on the command line.
+//
+// # Concurrency
+//
+// A Table serializes writers (Append, Compact) and publishes each commit
+// atomically under a read lock that scans take only long enough to
+// snapshot the segment list, so scans run against a consistent committed
+// generation while ingest proceeds — ingest-while-scanning is safe and
+// race-clean by construction.
+package zktable

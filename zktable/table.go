@@ -1,0 +1,599 @@
+package zktable
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/zukowski"
+)
+
+// Options configures a table handle. The zero value is a working default:
+// automatic per-block codec choice, no retries, no fault injection, no
+// salvage, two retained manifest generations.
+type Options struct {
+	// Codec names the registered codec used to encode appended segments;
+	// empty lets the writer pick per block (Auto).
+	Codec string
+
+	// Retry makes every segment column reader retry transient source-read
+	// failures (see zukowski.RetryPolicy). The zero value disables retries.
+	Retry zukowski.RetryPolicy
+
+	// SourceWrapper interposes on the raw io.ReaderAt of every opened
+	// segment file — the fault-injection seam (faultio.NewReaderAt).
+	SourceWrapper func(r io.ReaderAt, size int64) io.ReaderAt
+
+	// WriteWrapper interposes on the byte stream of every file the table
+	// writes (segment columns and manifests); name is the file's final
+	// name in the table directory. Crash tests tear the stream with
+	// faultio.Writer at chosen byte budgets.
+	WriteWrapper func(name string, w io.Writer) io.Writer
+
+	// Salvage lets Open rewrite a segment column that fails verification
+	// via zukowski.RecoverColumn before giving up on the segment. Only a
+	// salvage that restores the exact committed geometry (every block,
+	// count, checksum and zone map the manifest hoists) returns the
+	// segment to service; anything short of that leaves it quarantined,
+	// because serving a shortened segment would silently drop committed
+	// rows from exact scans.
+	Salvage bool
+
+	// KeepManifests is how many manifest generations stay on disk: the
+	// current one plus fallbacks for when it is later damaged. Values
+	// below 2 mean 2.
+	KeepManifests int
+
+	// ReadOnly makes Open purely observational: no orphan sweep, no
+	// manifest pruning, no salvage writes. Fsck opens tables this way.
+	ReadOnly bool
+}
+
+func (o *Options) keep() int { return max(o.KeepManifests, 2) }
+
+// SegmentFault describes one segment Open could not return to service.
+type SegmentFault struct {
+	Seg  uint64 // segment id
+	Rows int64  // committed rows now unavailable to exact scans
+	Err  error  // the verification failure, wrapping ErrSegmentQuarantined
+}
+
+// OpenReport says what startup recovery found and did.
+type OpenReport struct {
+	Generation uint64 // the committed generation served
+	Rows       int64  // rows in that generation
+	Segments   int
+
+	// FellBack is set when a manifest newer than the served generation
+	// existed but failed validation.
+	FellBack         bool
+	CorruptManifests []string // manifest files that failed validation
+	Swept            []string // orphan/temp/stale files removed
+	Salvaged         []uint64 // segment ids healed via RecoverColumn
+	Quarantined      []SegmentFault
+	RowsUnavailable  int64 // rows in quarantined segments
+}
+
+// segment is one committed segment: its open column readers and the
+// ColumnSet scans run against, or — when quarantined — the reason it is
+// out of service.
+type segment[T zukowski.Integer] struct {
+	id     uint64
+	rows   int64
+	counts []uint32 // rows per block (from the manifest)
+	files  []io.Closer
+	rdrs   []*zukowski.ColumnReader[T]
+	set    *zukowski.ColumnSet[T]
+	quar   error // non-nil: unavailable, wraps ErrSegmentQuarantined
+}
+
+func (s *segment[T]) close() {
+	for _, f := range s.files {
+		f.Close()
+	}
+	s.files = nil
+}
+
+// Table is an open table directory. One writer at a time (Append,
+// Compact serialize internally); any number of concurrent scans, each
+// running against the committed generation it snapshotted.
+type Table[T zukowski.Integer] struct {
+	dir   string
+	opts  Options
+	codec zukowski.Codec[T]
+	cols  []string
+	bv    int // blockValues
+
+	ingest sync.Mutex // serializes Append and Compact end to end
+
+	mu      sync.RWMutex // guards the published state below
+	man     *manifest
+	segs    []*segment[T]
+	starts  []int64 // starts[i] = first global row of segs[i]
+	rows    int64
+	nextSeg uint64
+	retired []*segment[T] // replaced by Compact; closed on Close
+	cache   zukowski.BlockCache
+	closed  bool
+
+	// recent holds the retained manifest generations, newest first —
+	// the pruning window. Touched only single-threaded (Create/Open) or
+	// under the ingest lock.
+	recent []*manifest
+}
+
+// widthOf is T's element width in bytes.
+func widthOf[T zukowski.Integer]() int {
+	switch any(*new(T)).(type) {
+	case int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Create initializes dir as an empty table of the named columns and
+// commits generation 1. blockValues <= 0 uses the writer default. The
+// directory is created if missing; a directory that already holds a
+// manifest is refused with ErrTableExists.
+func Create[T zukowski.Integer](dir string, cols []string, blockValues int, opts Options) (*Table[T], error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("zktable: a table needs at least one column")
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if err := validColName(c); err != nil {
+			return nil, err
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("zktable: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	if blockValues <= 0 {
+		blockValues = zukowski.DefaultBlockValues
+	}
+	if blockValues > zukowski.MaxBlockValues {
+		return nil, fmt.Errorf("zktable: block size %d exceeds %d values", blockValues, zukowski.MaxBlockValues)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if _, ok := parseManifestName(e.Name()); ok {
+			return nil, fmt.Errorf("%w: %s", ErrTableExists, filepath.Join(dir, e.Name()))
+		}
+	}
+	t, err := newTable[T](dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.cols = append([]string(nil), cols...)
+	t.bv = blockValues
+	t.man = &manifest{
+		Generation:  1,
+		Width:       widthOf[T](),
+		BlockValues: blockValues,
+		Cols:        t.cols,
+	}
+	t.nextSeg = 1
+	if err := t.writeManifest(t.man); err != nil {
+		return nil, err
+	}
+	t.recent = []*manifest{t.man}
+	return t, nil
+}
+
+func newTable[T zukowski.Integer](dir string, opts Options) (*Table[T], error) {
+	t := &Table[T]{dir: dir, opts: opts}
+	if opts.Codec != "" {
+		c, err := zukowski.Lookup[T](opts.Codec)
+		if err != nil {
+			return nil, err
+		}
+		t.codec = c
+	}
+	return t, nil
+}
+
+// Open opens dir and runs startup recovery: pick the newest manifest
+// that validates (falling back across damaged ones), sweep files no
+// retained manifest references, open and spot-verify every committed
+// segment against the manifest's hoisted statistics, and salvage or
+// quarantine segments that fail. The report says exactly what happened;
+// err is non-nil only when no committed generation is servable at all.
+func Open[T zukowski.Integer](dir string, opts Options) (*Table[T], *OpenReport, error) {
+	t, err := newTable[T](dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &OpenReport{}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type manFile struct {
+		gen  uint64
+		name string
+	}
+	var manFiles []manFile
+	for _, e := range ents {
+		if gen, ok := parseManifestName(e.Name()); ok && !e.IsDir() {
+			manFiles = append(manFiles, manFile{gen, e.Name()})
+		}
+	}
+	if len(manFiles) == 0 {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotTable, dir)
+	}
+	sort.Slice(manFiles, func(i, j int) bool { return manFiles[i].gen > manFiles[j].gen })
+
+	// Newest valid manifest wins; older valid ones are retained as
+	// fallbacks and pin their segment files against the sweep.
+	var chosen *manifest
+	retained := map[string]bool{}
+	referenced := map[string]bool{}
+	for _, mf := range manFiles {
+		if chosen != nil && len(retained) >= t.opts.keep() {
+			break
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, mf.name))
+		var m *manifest
+		if rerr == nil {
+			m, rerr = decodeManifest(data)
+		}
+		if rerr == nil && m.Generation != mf.gen {
+			rerr = fmt.Errorf("%w: file %s holds generation %d", ErrCorruptManifest, mf.name, m.Generation)
+		}
+		if rerr != nil {
+			rep.CorruptManifests = append(rep.CorruptManifests, mf.name)
+			if chosen == nil {
+				rep.FellBack = true
+			}
+			continue
+		}
+		retained[mf.name] = true
+		t.recent = append(t.recent, m)
+		for _, s := range m.Segs {
+			for _, col := range m.Cols {
+				referenced[segFileName(s.ID, col)] = true
+			}
+		}
+		if chosen == nil {
+			chosen = m
+		}
+	}
+	if chosen == nil {
+		rep.FellBack = false
+		return nil, rep, fmt.Errorf("%w: %s (%d manifests, all damaged)", ErrNoUsableManifest, dir, len(manFiles))
+	}
+	if w := widthOf[T](); chosen.Width != w {
+		return nil, rep, fmt.Errorf("zktable: %s stores %d-byte elements, opened as %d-byte", dir, chosen.Width, w)
+	}
+	rep.Generation = chosen.Generation
+	rep.Rows = chosen.Rows
+	rep.Segments = len(chosen.Segs)
+
+	// Sweep: temp files from interrupted atomic writes, manifests beyond
+	// the retention window (including damaged ones), and segment files no
+	// retained manifest references — the debris of crashed ingests and
+	// compactions. Read-only opens just look.
+	if !t.opts.ReadOnly {
+		for _, e := range ents {
+			name := e.Name()
+			var sweep bool
+			switch {
+			case strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-"):
+				sweep = true
+			case strings.HasPrefix(name, manifestPrefix):
+				sweep = !retained[name]
+			case strings.HasPrefix(name, segPrefix):
+				sweep = !referenced[name]
+			}
+			if sweep {
+				if err := os.Remove(filepath.Join(dir, name)); err == nil {
+					rep.Swept = append(rep.Swept, name)
+				}
+			}
+		}
+	}
+
+	t.man = chosen
+	t.cols = chosen.Cols
+	t.bv = chosen.BlockValues
+	t.rows = chosen.Rows
+	t.nextSeg = 1
+	for i := range chosen.Segs {
+		if id := chosen.Segs[i].ID; id >= t.nextSeg {
+			t.nextSeg = id + 1
+		}
+	}
+
+	for si := range chosen.Segs {
+		sm := &chosen.Segs[si]
+		seg, err := t.openSegment(sm)
+		if err != nil && t.opts.Salvage && !t.opts.ReadOnly {
+			if serr := t.salvageSegment(sm); serr == nil {
+				if seg, err = t.openSegment(sm); err == nil {
+					rep.Salvaged = append(rep.Salvaged, sm.ID)
+				}
+			}
+		}
+		if err != nil {
+			quar := fmt.Errorf("%w: segment %d: %w", ErrSegmentQuarantined, sm.ID, err)
+			seg = &segment[T]{id: sm.ID, rows: sm.Rows, counts: sm.Counts, quar: quar}
+			rep.Quarantined = append(rep.Quarantined, SegmentFault{Seg: sm.ID, Rows: sm.Rows, Err: quar})
+			rep.RowsUnavailable += sm.Rows
+		}
+		t.starts = append(t.starts, t.rowsBefore())
+		t.segs = append(t.segs, seg)
+	}
+	return t, rep, nil
+}
+
+// rowsBefore is the global row offset of the next segment to be placed.
+func (t *Table[T]) rowsBefore() int64 {
+	if n := len(t.segs); n > 0 {
+		return t.starts[n-1] + t.segs[n-1].rows
+	}
+	return 0
+}
+
+// openSegment opens every column of one committed segment and
+// cross-checks it against the manifest's hoisted statistics: file size,
+// row total, block geometry, per-block payload CRC32-C and zone maps.
+// The check reads only directory metadata — payload verification stays
+// lazy (per-block CRC on first read) or explicit (Fsck). Errors wrap
+// zukowski.ErrCorruptColumn via their cause wherever the data itself is
+// at fault.
+func (t *Table[T]) openSegment(sm *segMeta) (seg *segment[T], err error) {
+	seg = &segment[T]{id: sm.ID, rows: sm.Rows, counts: sm.Counts}
+	defer func() {
+		if err != nil {
+			seg.close()
+		}
+	}()
+	var rdOpts []zukowski.ReaderOption
+	if t.opts.Retry.MaxAttempts > 1 {
+		rdOpts = append(rdOpts, zukowski.WithRetryPolicy(t.opts.Retry))
+	}
+	for ci, col := range t.cols {
+		path := filepath.Join(t.dir, segFileName(sm.ID, col))
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return seg, fmt.Errorf("column %q: %w", col, ferr)
+		}
+		seg.files = append(seg.files, f)
+		st, ferr := f.Stat()
+		if ferr != nil {
+			return seg, fmt.Errorf("column %q: %w", col, ferr)
+		}
+		cs := &sm.Cols[ci]
+		if st.Size() != cs.FileSize {
+			return seg, fmt.Errorf("column %q: %w: file is %d bytes, manifest committed %d",
+				col, zukowski.ErrCorruptColumn, st.Size(), cs.FileSize)
+		}
+		var src io.ReaderAt = f
+		if t.opts.SourceWrapper != nil {
+			src = t.opts.SourceWrapper(src, st.Size())
+		}
+		cr, ferr := zukowski.OpenColumnReaderAt[T](src, st.Size(), rdOpts...)
+		if ferr != nil {
+			return seg, fmt.Errorf("column %q: %w", col, ferr)
+		}
+		if ferr := verifyAgainstManifest(cr, sm, ci); ferr != nil {
+			return seg, fmt.Errorf("column %q: %w", col, ferr)
+		}
+		if t.cache != nil {
+			cr.SetBlockCache(t.cache)
+		}
+		seg.rdrs = append(seg.rdrs, cr)
+	}
+	seg.set, err = zukowski.NewColumnSet(seg.rdrs...)
+	if err != nil {
+		return seg, err
+	}
+	return seg, nil
+}
+
+// verifyAgainstManifest spot-checks an opened column reader against the
+// manifest's hoisted copy of its directory. The container's own footer
+// CRC already verified on open; this detects a *different* container
+// than the one committed — a swapped, regenerated or in-place-salvaged
+// file whose self-consistent directory no longer matches the manifest.
+func verifyAgainstManifest[T zukowski.Integer](cr *zukowski.ColumnReader[T], sm *segMeta, ci int) error {
+	cs := &sm.Cols[ci]
+	if cr.NumBlocks() != len(sm.Counts) {
+		return fmt.Errorf("%w: container holds %d blocks, manifest committed %d",
+			zukowski.ErrCorruptColumn, cr.NumBlocks(), len(sm.Counts))
+	}
+	if int64(cr.Len()) != sm.Rows {
+		return fmt.Errorf("%w: container holds %d rows, manifest committed %d",
+			zukowski.ErrCorruptColumn, cr.Len(), sm.Rows)
+	}
+	for b := 0; b < cr.NumBlocks(); b++ {
+		info, err := cr.BlockInfo(b)
+		if err != nil {
+			return err
+		}
+		if uint32(info.Count) != sm.Counts[b] {
+			return fmt.Errorf("%w: block %d holds %d rows, manifest committed %d",
+				zukowski.ErrCorruptColumn, b, info.Count, sm.Counts[b])
+		}
+		if !info.HasChecksum || info.CRC32C != cs.CRCs[b] {
+			return fmt.Errorf("%w: block %d payload CRC %08x, manifest committed %08x",
+				zukowski.ErrChecksumMismatch, b, info.CRC32C, cs.CRCs[b])
+		}
+		if !info.HasZoneMap || zoneBitsOf(info.Min) != cs.MinBits[b] || zoneBitsOf(info.Max) != cs.MaxBits[b] {
+			return fmt.Errorf("%w: block %d zone map diverges from manifest",
+				zukowski.ErrCorruptColumn, b)
+		}
+	}
+	return nil
+}
+
+// zoneBitsOf is the storage encoding of a zone-map bound, matching the
+// ZKC2 directory and the manifest.
+func zoneBitsOf[T zukowski.Integer](v T) uint64 { return uint64(int64(v)) }
+
+// salvageSegment rewrites every column file of sm through
+// zukowski.RecoverColumn (readable-prefix recovery with a rebuilt
+// footer). It repairs footer-level damage losslessly; whether the result
+// matches the committed geometry is for openSegment to re-judge.
+func (t *Table[T]) salvageSegment(sm *segMeta) error {
+	for _, col := range t.cols {
+		path := filepath.Join(t.dir, segFileName(sm.ID, col))
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		_, rerr := zukowski.RecoverColumnFile[T](f, st.Size(), path)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	}
+	return nil
+}
+
+// snapshot returns the published state scans run against. The slices are
+// never mutated after publication (commits replace them wholesale), so
+// holding them outside the lock is safe.
+func (t *Table[T]) snapshot() (segs []*segment[T], starts []int64, gen uint64, rows int64, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, nil, 0, 0, ErrClosed
+	}
+	return t.segs, t.starts, t.man.Generation, t.rows, nil
+}
+
+// Generation returns the committed generation scans currently see.
+func (t *Table[T]) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.man.Generation
+}
+
+// Rows returns the committed row count, including quarantined segments.
+func (t *Table[T]) Rows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Columns returns the column names in schema order.
+func (t *Table[T]) Columns() []string { return append([]string(nil), t.cols...) }
+
+// BlockValues returns the writer block size rows are segmented into.
+func (t *Table[T]) BlockValues() int { return t.bv }
+
+// Dir returns the table directory.
+func (t *Table[T]) Dir() string { return t.dir }
+
+// NumSegments returns the committed segment count.
+func (t *Table[T]) NumSegments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segs)
+}
+
+// SegmentRows returns segment i's committed row count and first global
+// row.
+func (t *Table[T]) SegmentRows(i int) (rows, firstRow int64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.segs[i].rows, t.starts[i]
+}
+
+// SegmentBlockRows returns segment i's committed per-block row counts,
+// from the manifest — available even for quarantined segments, so
+// serving layers can account losses block by block.
+func (t *Table[T]) SegmentBlockRows(i int) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, len(t.segs[i].counts))
+	for b, c := range t.segs[i].counts {
+		out[b] = int(c)
+	}
+	return out
+}
+
+// SegmentReaders returns segment i's open column readers in schema
+// order, or the quarantine error when the segment is out of service. The
+// readers stay valid until Close; serving layers build their own views
+// on top of them.
+func (t *Table[T]) SegmentReaders(i int) ([]*zukowski.ColumnReader[T], error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.segs) {
+		return nil, fmt.Errorf("zktable: segment %d not in [0,%d)", i, len(t.segs))
+	}
+	if t.segs[i].quar != nil {
+		return nil, t.segs[i].quar
+	}
+	return t.segs[i].rdrs, nil
+}
+
+// QuarantinedSegments lists the segments Open left out of service.
+func (t *Table[T]) QuarantinedSegments() []SegmentFault {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []SegmentFault
+	for _, s := range t.segs {
+		if s.quar != nil {
+			out = append(out, SegmentFault{Seg: s.id, Rows: s.rows, Err: s.quar})
+		}
+	}
+	return out
+}
+
+// SetBlockCache attaches a hot-block cache to every current and future
+// segment reader (see zukowski.BlockCache). Pass nil to detach.
+func (t *Table[T]) SetBlockCache(c zukowski.BlockCache) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cache = c
+	for _, s := range t.segs {
+		for _, cr := range s.rdrs {
+			cr.SetBlockCache(c)
+		}
+	}
+}
+
+// Close releases every open segment file. Scans and writers must have
+// drained; a scan started after Close fails with ErrClosed.
+func (t *Table[T]) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, s := range t.segs {
+		s.close()
+	}
+	for _, s := range t.retired {
+		s.close()
+	}
+	return nil
+}
+
+var _ io.Closer = (*Table[int64])(nil)

@@ -1,0 +1,434 @@
+package zktable_test
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/zktable"
+	"repro/zukowski"
+)
+
+const testBV = 512
+
+var testSchema = []string{"k", "v", "d"}
+
+// synthCols builds one segment's worth of data: a near-sorted key column
+// and two payload columns, deterministic in seed.
+func synthCols(seed int64, rows int) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	c0 := make([]int64, rows)
+	c1 := make([]int64, rows)
+	c2 := make([]int64, rows)
+	acc := int64(0)
+	for i := 0; i < rows; i++ {
+		acc += rng.Int63n(3)
+		c0[i] = acc
+		c1[i] = rng.Int63n(1000)
+		c2[i] = rng.Int63n(64) - 32
+	}
+	return [][]int64{c0, c1, c2}
+}
+
+// appendAll concatenates per-segment column data into whole-table columns.
+func appendAll(segs ...[][]int64) [][]int64 {
+	out := make([][]int64, len(testSchema))
+	for _, seg := range segs {
+		for ci := range seg {
+			out[ci] = append(out[ci], seg[ci]...)
+		}
+	}
+	return out
+}
+
+func mustCreate(t *testing.T, dir string, opts zktable.Options) *zktable.Table[int64] {
+	t.Helper()
+	tb, err := zktable.Create[int64](dir, testSchema, testBV, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return tb
+}
+
+func mustAppend(t *testing.T, tb *zktable.Table[int64], cols [][]int64) uint64 {
+	t.Helper()
+	gen, err := tb.Append(cols)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return gen
+}
+
+// scanOracle filters whole-table columns directly — the reference the
+// scans must match.
+func scanOracle(cols [][]int64, preds []zukowski.Pred[int64]) (rows []int64, want [][]int64) {
+	want = make([][]int64, len(cols))
+	for i := int64(0); i < int64(len(cols[0])); i++ {
+		ok := true
+		for _, p := range preds {
+			v := cols[p.Col][i]
+			if v < p.Lo || v > p.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, i)
+			for ci := range cols {
+				want[ci] = append(want[ci], cols[ci][i])
+			}
+		}
+	}
+	return rows, want
+}
+
+func countRows(t *testing.T, tb *zktable.Table[int64], opts ...zukowski.ScanOption) int64 {
+	t.Helper()
+	var n int64
+	err := tb.ScanWhereAll(nil, func(rows []int64, _ [][]int64) bool {
+		n += int64(len(rows))
+		return true
+	}, opts...)
+	if err != nil {
+		t.Fatalf("ScanWhereAll: %v", err)
+	}
+	return n
+}
+
+func TestCreateAppendScanRoundtrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	if got := tb.Generation(); got != 1 {
+		t.Fatalf("fresh table generation = %d, want 1", got)
+	}
+
+	segA, segB, segC := synthCols(1, 1500), synthCols(2, 700), synthCols(3, 2100)
+	if gen := mustAppend(t, tb, segA); gen != 2 {
+		t.Fatalf("first append generation = %d, want 2", gen)
+	}
+	mustAppend(t, tb, segB)
+	if gen := mustAppend(t, tb, segC); gen != 4 {
+		t.Fatalf("third append generation = %d, want 4", gen)
+	}
+	all := appendAll(segA, segB, segC)
+	total := int64(len(all[0]))
+	if got := tb.Rows(); got != total {
+		t.Fatalf("Rows = %d, want %d", got, total)
+	}
+
+	preds := []zukowski.Pred[int64]{{Col: 1, Lo: 100, Hi: 600}, {Col: 2, Lo: -10, Hi: 20}}
+	wantRows, wantCols := scanOracle(all, preds)
+	var gotRows []int64
+	gotCols := make([][]int64, len(all))
+	err := tb.ScanWhereAll(preds, func(rows []int64, cols [][]int64) bool {
+		gotRows = append(gotRows, rows...)
+		for ci := range cols {
+			gotCols[ci] = append(gotCols[ci], cols[ci]...)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ScanWhereAll: %v", err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("scan returned %d rows, oracle %d", len(gotRows), len(wantRows))
+	}
+	for i := range gotRows {
+		if gotRows[i] != wantRows[i] {
+			t.Fatalf("row %d: got id %d, want %d", i, gotRows[i], wantRows[i])
+		}
+		for ci := range gotCols {
+			if gotCols[ci][i] != wantCols[ci][i] {
+				t.Fatalf("row %d col %d: got %d, want %d", i, ci, gotCols[ci][i], wantCols[ci][i])
+			}
+		}
+	}
+
+	// Aggregates fold across segments.
+	agg, err := tb.AggregateWhereAll(preds, 1)
+	if err != nil {
+		t.Fatalf("AggregateWhereAll: %v", err)
+	}
+	var wantAgg zukowski.Aggregate[int64]
+	for i, v := range wantCols[1] {
+		wantAgg.Count++
+		wantAgg.Sum += v
+		if i == 0 || v < wantAgg.Min {
+			wantAgg.Min = v
+		}
+		if i == 0 || v > wantAgg.Max {
+			wantAgg.Max = v
+		}
+	}
+	if agg != wantAgg {
+		t.Fatalf("aggregate = %+v, want %+v", agg, wantAgg)
+	}
+
+	// Early stop.
+	calls := 0
+	if err := tb.ScanWhereAll(nil, func(rows []int64, _ [][]int64) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatalf("early-stop scan: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("stopped scan delivered %d times, want 1", calls)
+	}
+	tb.Close()
+
+	// Reopen: clean recovery, same data.
+	tb2, rep, err := zktable.Open[int64](dir, zktable.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer tb2.Close()
+	if rep.FellBack || len(rep.CorruptManifests) > 0 || len(rep.Quarantined) > 0 {
+		t.Fatalf("clean reopen reported trouble: %+v", rep)
+	}
+	if rep.Generation != 4 || rep.Rows != total {
+		t.Fatalf("reopened at generation %d with %d rows, want 4 / %d", rep.Generation, rep.Rows, total)
+	}
+	if got := countRows(t, tb2); got != total {
+		t.Fatalf("reopened scan saw %d rows, want %d", got, total)
+	}
+}
+
+func TestParallelScanWhereAllEquivalence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	defer tb.Close()
+	segA, segB := synthCols(10, 3000), synthCols(11, 1800)
+	mustAppend(t, tb, segA)
+	mustAppend(t, tb, segB)
+	all := appendAll(segA, segB)
+
+	preds := []zukowski.Pred[int64]{{Col: 1, Lo: 0, Hi: 750}}
+	wantRows, _ := scanOracle(all, preds)
+
+	var mu sync.Mutex
+	var gotRows []int64
+	blocks := map[int]bool{}
+	err := tb.ParallelScanWhereAll(preds, 4, func(block int, rows []int64, cols [][]int64) bool {
+		mu.Lock()
+		gotRows = append(gotRows, rows...)
+		blocks[block] = true
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ParallelScanWhereAll: %v", err)
+	}
+	sort.Slice(gotRows, func(i, j int) bool { return gotRows[i] < gotRows[j] })
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("parallel scan returned %d rows, oracle %d", len(gotRows), len(wantRows))
+	}
+	for i := range gotRows {
+		if gotRows[i] != wantRows[i] {
+			t.Fatalf("sorted row %d: got %d, want %d", i, gotRows[i], wantRows[i])
+		}
+	}
+	// Global block indices must be distinct across segments.
+	nb := (len(segA[0])+testBV-1)/testBV + (len(segB[0])+testBV-1)/testBV
+	for b := range blocks {
+		if b < 0 || b >= nb {
+			t.Fatalf("block index %d outside [0,%d)", b, nb)
+		}
+	}
+
+	// Early stop terminates promptly and without error.
+	var fired atomic.Int64
+	if err := tb.ParallelScanWhereAll(nil, 4, func(_ int, rows []int64, _ [][]int64) bool {
+		fired.Add(1)
+		return false
+	}); err != nil {
+		t.Fatalf("early-stop parallel scan: %v", err)
+	}
+	if fired.Load() == 0 {
+		t.Fatal("early-stop parallel scan never delivered")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	defer tb.Close()
+	segs := [][][]int64{synthCols(20, 900), synthCols(21, 1300), synthCols(22, 400)}
+	for _, s := range segs {
+		mustAppend(t, tb, s)
+	}
+	all := appendAll(segs...)
+	total := int64(len(all[0]))
+	genBefore := tb.Generation()
+
+	gen, err := tb.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if gen != genBefore+1 {
+		t.Fatalf("compact generation = %d, want %d", gen, genBefore+1)
+	}
+	if tb.NumSegments() != 1 {
+		t.Fatalf("after compact: %d segments, want 1", tb.NumSegments())
+	}
+	if got := countRows(t, tb); got != total {
+		t.Fatalf("after compact: scan saw %d rows, want %d", got, total)
+	}
+	// Scans still match the oracle on the compacted layout.
+	preds := []zukowski.Pred[int64]{{Col: 2, Lo: 0, Hi: 31}}
+	wantRows, _ := scanOracle(all, preds)
+	var got int64
+	if err := tb.ScanWhereAll(preds, func(rows []int64, _ [][]int64) bool {
+		got += int64(len(rows))
+		return true
+	}); err != nil {
+		t.Fatalf("post-compact scan: %v", err)
+	}
+	if got != int64(len(wantRows)) {
+		t.Fatalf("post-compact predicate scan saw %d rows, oracle %d", got, len(wantRows))
+	}
+
+	// Two more commits age the pre-compaction manifests out of retention;
+	// their segment files must be swept from disk.
+	mustAppend(t, tb, synthCols(23, 300))
+	mustAppend(t, tb, synthCols(24, 300))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segFiles := 0
+	for _, e := range ents {
+		if len(e.Name()) > 4 && e.Name()[:4] == "seg-" {
+			segFiles++
+		}
+	}
+	// 3 live segments × 3 columns; nothing from before the compaction.
+	if segFiles != 9 {
+		t.Fatalf("%d segment files on disk after retention aged out, want 9", segFiles)
+	}
+}
+
+// TestTableConcurrentIngestScan appends while scans run. Every scan must
+// observe exactly one committed generation's row total — never a torn
+// in-between state. Runs under -race at -cpu=1,4 in CI.
+func TestTableConcurrentIngestScan(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	defer tb.Close()
+	mustAppend(t, tb, synthCols(30, 800))
+
+	// Every total a scan may legally observe is known up front: the
+	// publication is atomic, so anything else is a torn snapshot.
+	const appends = 6
+	committed := map[int64]bool{800: true}
+	for i, rows := 0, int64(800); i < appends; i++ {
+		rows += int64(300 + 100*i)
+		committed[rows] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < appends; i++ {
+			if _, err := tb.Append(synthCols(int64(31+i), 300+100*i)); err != nil {
+				t.Errorf("concurrent append: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var n int64
+				var err error
+				if g == 0 {
+					err = tb.ParallelScanWhereAll(nil, 4, func(_ int, rows []int64, _ [][]int64) bool {
+						atomic.AddInt64(&n, int64(len(rows)))
+						return true
+					})
+				} else {
+					err = tb.ScanWhereAll(nil, func(rows []int64, _ [][]int64) bool {
+						n += int64(len(rows))
+						return true
+					})
+				}
+				if err != nil {
+					t.Errorf("concurrent scan: %v", err)
+					return
+				}
+				if !committed[n] {
+					t.Errorf("scan saw %d rows: not a committed total", n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := countRows(t, tb); got != 800+300+400+500+600+700+800 {
+		t.Fatalf("final rows = %d", got)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	defer tb.Close()
+	if _, err := tb.Append([][]int64{{1}, {2}}); err == nil {
+		t.Fatal("Append with wrong column count succeeded")
+	}
+	if _, err := tb.Append([][]int64{{1, 2}, {3}, {4, 5}}); err == nil {
+		t.Fatal("Append with ragged columns succeeded")
+	}
+	if _, err := tb.Append([][]int64{{}, {}, {}}); err == nil {
+		t.Fatal("Append of zero rows succeeded")
+	}
+	if gen := tb.Generation(); gen != 1 {
+		t.Fatalf("failed appends moved generation to %d", gen)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	empty := t.TempDir()
+	if _, _, err := zktable.Open[int64](empty, zktable.Options{}); !errors.Is(err, zktable.ErrNotTable) {
+		t.Fatalf("Open of empty dir: %v, want ErrNotTable", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tb := mustCreate(t, dir, zktable.Options{})
+	mustAppend(t, tb, synthCols(40, 500))
+	tb.Close()
+
+	if _, err := zktable.Create[int64](dir, testSchema, testBV, zktable.Options{}); !errors.Is(err, zktable.ErrTableExists) {
+		t.Fatalf("Create over existing table: %v, want ErrTableExists", err)
+	}
+	if _, _, err := zktable.Open[int32](dir, zktable.Options{}); err == nil {
+		t.Fatal("Open with wrong element width succeeded")
+	}
+
+	tb2, _, err := zktable.Open[int64](dir, zktable.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	tb2.Close()
+	if err := tb2.ScanWhereAll(nil, func([]int64, [][]int64) bool { return true }); !errors.Is(err, zktable.ErrClosed) {
+		t.Fatalf("scan after close: %v, want ErrClosed", err)
+	}
+	if _, err := tb2.Append(synthCols(41, 10)); !errors.Is(err, zktable.ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}

@@ -65,6 +65,23 @@ func SkipCorrupt(rep *ScanReport) ScanOption {
 	}
 }
 
+// ConfiguredSkipCorrupt reports whether opts put a scan in degraded mode
+// (SkipCorrupt) and returns the report it targets. Layers that compose
+// scans above block granularity — a multi-file table skipping a whole
+// quarantined segment — use this to apply the same degraded-mode contract
+// to failures the block engine never sees, accounting them in the same
+// report the engine fills.
+func ConfiguredSkipCorrupt(opts ...ScanOption) (*ScanReport, bool) {
+	cfg := parseScanOpts(opts)
+	return cfg.report, cfg.skip
+}
+
+// IsDataFault reports whether err is a fault of the stored data itself —
+// corrupt container or segment bytes, a checksum mismatch, a quarantined
+// block, retry-exhausted I/O — the class a degraded scan may skip.
+// Cancellation and caller errors are not data faults.
+func IsDataFault(err error) bool { return skippableBlockErr(err) }
+
 // skippableBlockErr reports whether a block-level failure is a fault of
 // the data — corrupt container or segment bytes, checksum mismatch,
 // quarantine, retry-exhausted I/O — rather than cancellation or caller

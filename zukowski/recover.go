@@ -80,6 +80,56 @@ func WriteColumnAtomic[T Integer](path string, codec Codec[T], blockValues int, 
 	return nil
 }
 
+// RecoverColumnFile salvages the readable prefix of the container in r
+// (see RecoverColumn) into a fresh container at path, with
+// WriteColumnAtomic's all-or-nothing visibility: the rebuilt container is
+// staged in a temp file in path's directory, fsynced, and renamed over
+// path. Every failure — a recovery error, a failed write, sync, close or
+// rename — closes and removes the temp file before returning, so a failed
+// salvage never leaves a stray .tmp file for startup recovery to sweep.
+func RecoverColumnFile[T Integer](r io.ReaderAt, size int64, path string) (RecoverStats, error) {
+	return recoverColumnToFile[T](r, size, path, nil)
+}
+
+// recoverColumnToFile is RecoverColumnFile with an injectable writer
+// wrapper, the seam the crash-safety tests use to tear the output stream
+// at a chosen byte (faultio.Writer) and assert the cleanup contract.
+func recoverColumnToFile[T Integer](r io.ReaderAt, size int64, path string, wrap func(io.Writer) io.Writer) (stats RecoverStats, err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return RecoverStats{BytesIn: size}, err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := io.Writer(tmp)
+	if wrap != nil {
+		w = wrap(w)
+	}
+	if stats, err = RecoverColumn[T](r, size, w); err != nil {
+		return stats, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return stats, err
+	}
+	if err = tmp.Close(); err != nil {
+		return stats, err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return stats, err
+	}
+	// Best-effort directory sync, as in WriteColumnAtomic.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return stats, nil
+}
+
 // RecoverStats summarizes a RecoverColumn pass.
 type RecoverStats struct {
 	// Blocks and Rows count what survived into the rebuilt container.

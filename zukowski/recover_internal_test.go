@@ -1,0 +1,116 @@
+package zukowski
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// buildRecoverInput writes a small multi-block container and returns its
+// bytes plus the byte size of a healthy recovery of it.
+func buildRecoverInput(t *testing.T) (data []byte, recoveredSize int64) {
+	t.Helper()
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = int64(i % 257)
+	}
+	var buf bytes.Buffer
+	cw, err := NewColumnWriter[int64](&buf, nil, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var healthy bytes.Buffer
+	if _, err := RecoverColumn[int64](bytes.NewReader(buf.Bytes()), int64(buf.Len()), &healthy); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), int64(healthy.Len())
+}
+
+// TestRecoverColumnFileCleanupOnWriteFault tears the salvage output stream
+// at assorted byte budgets with faultio.Writer and asserts the contract
+// that matters to startup recovery: a failed RecoverColumnFile leaves the
+// destination directory exactly as it found it — no temp file, no
+// destination file.
+func TestRecoverColumnFileCleanupOnWriteFault(t *testing.T) {
+	data, total := buildRecoverInput(t)
+	if total < 100 {
+		t.Fatalf("recovered container implausibly small: %d bytes", total)
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.zkc")
+	for _, failAfter := range []int64{0, 1, 15, columnHeaderSize, columnHeaderSize + 1, total / 2, total - 1} {
+		_, err := recoverColumnToFile[int64](bytes.NewReader(data), int64(len(data)), out,
+			func(w io.Writer) io.Writer { return &faultio.Writer{W: w, FailAfter: failAfter} })
+		if !errors.Is(err, faultio.ErrInjected) {
+			t.Fatalf("failAfter=%d: err = %v, want injected write fault", failAfter, err)
+		}
+		ents, derr := os.ReadDir(dir)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if len(ents) != 0 {
+			names := make([]string, len(ents))
+			for i, e := range ents {
+				names[i] = e.Name()
+			}
+			t.Fatalf("failAfter=%d: directory not clean after failed salvage: %v", failAfter, names)
+		}
+	}
+
+	// The success path produces a valid container at the destination and
+	// nothing else.
+	stats, err := RecoverColumnFile[int64](bytes.NewReader(data), int64(len(data)), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 3000 {
+		t.Fatalf("recovered %d rows, want 3000", stats.Rows)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := OpenColumn[int64](got)
+	if err != nil {
+		t.Fatalf("recovered output does not open: %v", err)
+	}
+	if err := cr.Verify(); err != nil {
+		t.Fatalf("recovered output fails verify: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.zkc" {
+		t.Fatalf("directory holds %d entries after successful salvage", len(ents))
+	}
+
+	// A failed rename (destination path is an existing directory) must also
+	// clean up its temp file.
+	dir2 := t.TempDir()
+	blocked := filepath.Join(dir2, "dst.zkc")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverColumnFile[int64](bytes.NewReader(data), int64(len(data)), blocked); err == nil {
+		t.Fatal("rename over a directory succeeded")
+	}
+	ents, err = os.ReadDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind after failed rename: %d entries", len(ents))
+	}
+}
