@@ -19,6 +19,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -92,6 +93,10 @@ type CodecResult struct {
 	// requested selectivity point, measured over a ColumnSet of -cols
 	// same-codec columns.
 	ConjunctiveScans []ConjunctiveScanResult `json:"conjunctive_scans,omitempty"`
+	// DisjunctiveScans holds the -or sweep: one entry per requested
+	// selectivity point, a two-branch OR over the first two columns of
+	// the -cols set evaluated through the expression tree.
+	DisjunctiveScans []DisjunctiveScanResult `json:"disjunctive_scans,omitempty"`
 }
 
 // ConjunctiveScanResult measures one point of the multi-column sweep: a
@@ -114,6 +119,31 @@ type ConjunctiveScanResult struct {
 	ParallelScanAllMBps float64 `json:"parallel_scan_all_mbps,omitempty"`
 	AggregateAllMBps    float64 `json:"aggregate_all_mbps"`
 	// Speedup is ScanAllMBps / OracleMBps.
+	Speedup float64 `json:"speedup"`
+}
+
+// DisjunctiveScanResult measures one point of the OR sweep: a two-branch
+// disjunction Or(Range(col0), Range(col1)) whose combined selectivity
+// targets ~Selectivity (each branch gets a centered window of ~half on
+// its own column), evaluated the decode-then-filter way (every block at
+// least one branch's zone map admits is fully decoded on both columns,
+// the disjunction re-applied row by row in the caller) and the
+// expression-tree way (Run with an Or expression: mask per branch,
+// UnionMask in the compressed domain, both columns materialized only at
+// surviving rows).
+type DisjunctiveScanResult struct {
+	Cols int `json:"cols"`
+	// Selectivity is the requested combined fraction; ActualSelectivity
+	// the fraction the disjunction really selects.
+	Selectivity       float64 `json:"selectivity"`
+	ActualSelectivity float64 `json:"actual_selectivity"`
+	Matched           int     `json:"matched"`
+	// Bandwidths are raw-data MB/s over the two scanned columns per pass.
+	OracleMBps    float64 `json:"oracle_mbps"`
+	OrScanMBps    float64 `json:"or_scan_mbps"`
+	AggregateMBps float64 `json:"aggregate_mbps"`
+	// Speedup is OrScanMBps / OracleMBps — a within-run ratio, so it
+	// needs no memory-bandwidth normalization.
 	Speedup float64 `json:"speedup"`
 }
 
@@ -156,6 +186,8 @@ var (
 	workers     = flag.Int("workers", 0, "measure block-parallel scans with this many workers (0: skip)")
 	selectivity = flag.String("selectivity", "", "comma-separated selectivity sweep for filtered scans, e.g. 0.001,0.01,0.1,0.5,1 (empty: skip)")
 	cols        = flag.Int("cols", 1, "measure conjunctive multi-column scans over this many columns at each -selectivity point (<2: skip)")
+	orScan      = flag.Bool("or", false, "measure two-branch disjunctive (OR) scans at each -selectivity point (needs -cols >= 2)")
+	orFloor     = flag.Float64("orfloor", 0, "fail unless every disjunctive point at selectivity <= 0.1 reaches this speedup over decode-then-filter (0: off)")
 )
 
 // selectivityPoints parses the -selectivity flag.
@@ -240,6 +272,44 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "gate: no codec regressed more than %.0f%% vs %s\n", *tolerance*100, *baseline)
 	}
+	if *orFloor > 0 {
+		if err := checkOrFloor(rep, *orFloor); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gate: every disjunctive point at selectivity <= 0.1 reached %.2fx over decode-then-filter\n", *orFloor)
+	}
+}
+
+// checkOrFloor enforces the absolute OR-composition claim: at combined
+// selectivities of at most 10%, the expression-tree disjunctive scan must
+// beat the decode-then-filter oracle by the given factor. The ratio is
+// within-run, so the check is machine-independent.
+func checkOrFloor(rep Report, floor float64) error {
+	var failures []string
+	points := 0
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			continue
+		}
+		for _, ds := range r.DisjunctiveScans {
+			if ds.Selectivity > 0.1 {
+				continue
+			}
+			points++
+			if ds.Speedup < floor {
+				failures = append(failures, fmt.Sprintf(
+					"%s@or%g: disjunctive speedup %.2fx < floor %.2fx",
+					r.Codec, ds.Selectivity, ds.Speedup, floor))
+			}
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("-orfloor set but no disjunctive points at selectivity <= 0.1 were measured (pass -or, -cols >= 2 and -selectivity)")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("disjunctive speedup floor failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // loadValues produces the benchmark dataset in the requested element type.
@@ -482,6 +552,11 @@ func benchCodec[T zukowski.Integer](name string, vals, sorted []T, lo, hi T, poi
 		} else {
 			for _, s := range points {
 				res.ConjunctiveScans = append(res.ConjunctiveScans, benchConjunctive(name, set, sortedCols, s))
+			}
+			if *orScan {
+				for _, s := range points {
+					res.DisjunctiveScans = append(res.DisjunctiveScans, benchDisjunctive(name, set, sortedCols, s))
+				}
 			}
 		}
 	}
@@ -794,6 +869,149 @@ func benchConjunctive[T zukowski.Integer](name string, set *zukowski.ColumnSet[T
 	return res
 }
 
+// benchDisjunctive measures one combined-selectivity point of the
+// two-branch OR sweep over the set's first two columns. Each branch gets
+// a centered window of selectivity ~s/2 over its own column, so on
+// decorrelated columns the disjunction selects ~s of the rows. The
+// oracle pass is the decode-then-filter plan the expression tree
+// replaces: every block at least one branch's zone map admits is decoded
+// on both columns, the OR re-applied per row in the caller, matching
+// rows and both column values materialized — identical output to Run
+// with Or(Range, Range) and Cols {0, 1}.
+func benchDisjunctive[T zukowski.Integer](name string, set *zukowski.ColumnSet[T], sortedCols [][]T, s float64) DisjunctiveScanResult {
+	res := DisjunctiveScanResult{Cols: 2, Selectivity: s}
+	n := set.Len()
+	type branch struct {
+		col    int
+		lo, hi T
+	}
+	branches := make([]branch, 2)
+	for c := 0; c < 2; c++ {
+		sorted := sortedCols[c]
+		target := int(s / 2 * float64(n))
+		if target < 1 {
+			target = 1
+		}
+		loIdx := (n - target) / 2
+		branches[c] = branch{c, sorted[loIdx], sorted[loIdx+target-1]}
+	}
+	expr := zukowski.Or(
+		zukowski.Range[T](0, branches[0].lo, branches[0].hi),
+		zukowski.Range[T](1, branches[1].lo, branches[1].hi),
+	)
+	rawBytes := set.Column(0).UncompressedBytes() + set.Column(1).UncompressedBytes()
+
+	// Candidate blocks: a block survives unless every branch's zone map
+	// excludes it — the disjunctive mirror of the conjunctive pruning,
+	// shared by both plans.
+	var candidates []int
+	starts := make([]int64, set.NumBlocks()+1)
+	for b := 0; b < set.NumBlocks(); b++ {
+		keep := false
+		for _, br := range branches {
+			info, err := set.Column(br.col).BlockInfo(b)
+			if err != nil {
+				log.Fatalf("%s: BlockInfo(%d): %v", name, b, err)
+			}
+			if !info.HasZoneMap || (info.Max >= br.lo && info.Min <= br.hi) {
+				keep = true
+				break
+			}
+		}
+		info, err := set.Column(0).BlockInfo(b)
+		if err != nil {
+			log.Fatalf("%s: BlockInfo(%d): %v", name, b, err)
+		}
+		starts[b+1] = starts[b] + int64(info.Count)
+		if keep {
+			candidates = append(candidates, b)
+		}
+	}
+
+	// Decode-then-filter oracle.
+	bufs := make([][]T, 2)
+	rows := make([]int64, 0, n)
+	outs := [][]T{make([]T, 0, n), make([]T, 0, n)}
+	secs := bestOf(func() {
+		rows = rows[:0]
+		outs[0], outs[1] = outs[0][:0], outs[1][:0]
+		for _, b := range candidates {
+			for c := 0; c < 2; c++ {
+				var err error
+				if bufs[c], err = set.Column(c).ReadBlock(b, bufs[c][:0]); err != nil {
+					log.Fatalf("%s: ReadBlock(%d): %v", name, b, err)
+				}
+			}
+			base := starts[b]
+			for j := range bufs[0] {
+				v0, v1 := bufs[0][j], bufs[1][j]
+				if (v0 < branches[0].lo || v0 > branches[0].hi) &&
+					(v1 < branches[1].lo || v1 > branches[1].hi) {
+					continue
+				}
+				rows = append(rows, base+int64(j))
+				outs[0] = append(outs[0], v0)
+				outs[1] = append(outs[1], v1)
+			}
+		}
+	})
+	res.OracleMBps = experiments.MBps(rawBytes, secs)
+	oracleMatched := len(rows)
+
+	q := zukowski.Query[T]{Expr: expr, Cols: []int{0, 1}}
+	matched := 0
+	secs = bestOf(func() {
+		matched = 0
+		if err := set.Run(context.Background(), q, func(_ int, r []int64, _ [][]T) bool {
+			matched += len(r)
+			return true
+		}); err != nil {
+			log.Fatalf("%s: Run(Or): %v", name, err)
+		}
+	})
+	res.OrScanMBps = experiments.MBps(rawBytes, secs)
+	res.Matched = matched
+	res.ActualSelectivity = float64(matched) / float64(n)
+	if res.OracleMBps > 0 {
+		res.Speedup = res.OrScanMBps / res.OracleMBps
+	}
+	if matched != oracleMatched {
+		log.Fatalf("%s: Run(Or) matched %d rows, decode-then-filter matched %d", name, matched, oracleMatched)
+	}
+	// One untimed pass proves the two plans emit identical rows and values
+	// for both columns, not just equal counts.
+	i := 0
+	if err := set.Run(context.Background(), q, func(_ int, r []int64, colVals [][]T) bool {
+		for j := range r {
+			if r[j] != rows[i] {
+				log.Fatalf("%s: match %d: Run(Or) row %d != oracle row %d", name, i, r[j], rows[i])
+			}
+			for c := 0; c < 2; c++ {
+				if colVals[c][j] != outs[c][i] {
+					log.Fatalf("%s: match %d col %d: Run(Or) %v != oracle %v",
+						name, i, c, colVals[c][j], outs[c][i])
+				}
+			}
+			i++
+		}
+		return true
+	}); err != nil {
+		log.Fatalf("%s: Run(Or) verify pass: %v", name, err)
+	}
+
+	secs = bestOf(func() {
+		agg, err := set.RunAggregate(context.Background(), zukowski.Query[T]{Expr: expr}, 0)
+		if err != nil {
+			log.Fatalf("%s: RunAggregate(Or): %v", name, err)
+		}
+		if int(agg.Count) != matched {
+			log.Fatalf("%s: RunAggregate(Or) counted %d rows, Run matched %d", name, agg.Count, matched)
+		}
+	})
+	res.AggregateMBps = experiments.MBps(rawBytes, secs)
+	return res
+}
+
 func printText(w io.Writer, rep Report) {
 	fmt.Fprintf(w, "codecbench: %s, %d %s values, blocks of %d (%s %s/%s, %s)\n",
 		rep.Source, rep.NumValues, rep.ElemType, rep.BlockValues, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.CreatedAt)
@@ -852,6 +1070,24 @@ func printText(w io.Writer, rep Report) {
 			fmt.Fprintf(w, "%-12s %4d %8.3f %8.3f %12.0f %12.0f %12.0f %12.0f %7.2fx\n",
 				r.Codec, cj.Cols, cj.Selectivity, cj.ActualSelectivity, cj.OracleMBps,
 				cj.ScanAllMBps, cj.ParallelScanAllMBps, cj.AggregateAllMBps, cj.Speedup)
+		}
+	}
+	disjunctive := false
+	for _, r := range rep.Results {
+		disjunctive = disjunctive || len(r.DisjunctiveScans) > 0
+	}
+	if !disjunctive {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "disjunctive scans (two-branch Or through Run vs decode-then-filter oracle):")
+	fmt.Fprintf(w, "%-12s %4s %8s %8s %12s %12s %12s %8s\n",
+		"codec", "cols", "sel", "actual", "oracle MB/s", "or MB/s", "agg MB/s", "speedup")
+	for _, r := range rep.Results {
+		for _, ds := range r.DisjunctiveScans {
+			fmt.Fprintf(w, "%-12s %4d %8.3f %8.3f %12.0f %12.0f %12.0f %7.2fx\n",
+				r.Codec, ds.Cols, ds.Selectivity, ds.ActualSelectivity, ds.OracleMBps,
+				ds.OrScanMBps, ds.AggregateMBps, ds.Speedup)
 		}
 	}
 }
@@ -992,6 +1228,41 @@ func gate(rep Report, baselinePath string, tol float64) error {
 						"%s@%dx%g: parallel conjunctive bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
 						b.Codec, bcs.Cols, bcs.Selectivity, ccs.ParallelScanAllMBps, norm, bcs.ParallelScanAllMBps, tol*100))
 				}
+			}
+		}
+		// Disjunctive-scan points gate like the conjunctive ones on
+		// memory-normalized bandwidth, and additionally on the speedup over
+		// the decode-then-filter oracle: the ratio is within-run, so it
+		// needs no normalization and directly guards the claim that OR
+		// composition beats decode-then-filter.
+		for _, bds := range b.DisjunctiveScans {
+			var cds *DisjunctiveScanResult
+			for i := range cur.DisjunctiveScans {
+				if cur.DisjunctiveScans[i].Selectivity == bds.Selectivity && cur.DisjunctiveScans[i].Cols == bds.Cols {
+					cds = &cur.DisjunctiveScans[i]
+					break
+				}
+			}
+			if cds == nil {
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline has a disjunctive point at selectivity %g, current run does not (rerun with -or, -cols and -selectivity)",
+					b.Codec, bds.Selectivity))
+				continue
+			}
+			if norm := cds.OrScanMBps * scale; norm < bds.OrScanMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@or%g: disjunctive-scan bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bds.Selectivity, cds.OrScanMBps, norm, bds.OrScanMBps, tol*100))
+			}
+			if norm := cds.AggregateMBps * scale; norm < bds.AggregateMBps*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@or%g: disjunctive-aggregate bandwidth %.0f MB/s (normalized %.0f) < baseline %.0f MB/s -%.0f%%",
+					b.Codec, bds.Selectivity, cds.AggregateMBps, norm, bds.AggregateMBps, tol*100))
+			}
+			if bds.Speedup > 0 && cds.Speedup < bds.Speedup*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s@or%g: disjunctive speedup %.2fx < baseline %.2fx -%.0f%%",
+					b.Codec, bds.Selectivity, cds.Speedup, bds.Speedup, tol*100))
 			}
 		}
 		// Parallel scan bandwidth is gated with the same memory-bandwidth

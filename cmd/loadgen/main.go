@@ -19,7 +19,9 @@
 // re-attempts 429/5xx responses with jittered backoff (honoring the
 // server's Retry-After), reporting retries separately from failures;
 // -skip-corrupt opts every query into degraded scans, whose lost rows
-// show up in the report rather than as errors.
+// show up in the report rather than as errors; -any-of replaces each
+// predicate window with a two-branch any_of disjunction, exercising the
+// server's compressed-domain OR path.
 package main
 
 import (
@@ -105,6 +107,7 @@ func main() {
 		maxP99MS  = flag.Float64("max-p99-ms", 0, "exit non-zero if p99 latency exceeds this many ms (0 = no gate)")
 		retry     = flag.Int("retry", 0, "attempts per query on 429/5xx, honoring Retry-After (0/1 = no retries); retries report separately from failures")
 		skipBad   = flag.Bool("skip-corrupt", false, "request degraded scans: corrupt blocks are skipped server-side and reported as rows_lost")
+		anyOf     = flag.Bool("any-of", false, "send each predicate as a two-branch any_of disjunction (two windows of half the selectivity each)")
 	)
 	flag.Parse()
 
@@ -146,6 +149,10 @@ func main() {
 	if predCol == "" {
 		fmt.Fprintf(os.Stderr, "loadgen: table %q has no zone-mapped column; scanning without predicates\n", meta.Name)
 	}
+	if *anyOf && !hasFeature(tables, "any_of") {
+		fmt.Fprintln(os.Stderr, "loadgen: server does not advertise the any_of feature")
+		os.Exit(1)
+	}
 
 	cacheBefore := scrapeCache(*url)
 
@@ -169,8 +176,17 @@ func main() {
 					SkipCorrupt: *skipBad,
 				}
 				if predCol != "" {
-					lo, hi := predWindow(rng, predLo, predHi, sel)
-					req.Preds = []zkserve.PredSpec{{Col: predCol, Lo: &lo, Hi: &hi}}
+					if *anyOf {
+						lo1, hi1 := predWindow(rng, predLo, predHi, sel/2)
+						lo2, hi2 := predWindow(rng, predLo, predHi, sel/2)
+						req.AnyOf = client.AnyOf(
+							[]zkserve.PredSpec{{Col: predCol, Lo: &lo1, Hi: &hi1}},
+							[]zkserve.PredSpec{{Col: predCol, Lo: &lo2, Hi: &hi2}},
+						)
+					} else {
+						lo, hi := predWindow(rng, predLo, predHi, sel)
+						req.Preds = []zkserve.PredSpec{{Col: predCol, Lo: &lo, Hi: &hi}}
+					}
 				}
 				m := *mode
 				if m == "mixed" {
@@ -387,6 +403,17 @@ func pickCols(meta zkserve.TableMeta, flagVal string) []string {
 		}
 	}
 	return cols
+}
+
+// hasFeature reports whether the server advertised the named
+// scan-protocol capability in its /tables listing.
+func hasFeature(tables zkserve.TablesResponse, f string) bool {
+	for _, have := range tables.Features {
+		if have == f {
+			return true
+		}
+	}
+	return false
 }
 
 // pickPredCol chooses the first zone-mapped column as the predicate

@@ -76,12 +76,19 @@ func BuildTPCH(sf float64, layout columnbm.Layout, compress bool, raid RAIDConfi
 // RunQuery executes one query cold (fresh buffer manager) and returns its
 // measurements. bufBytes models the paper's 4GB RAM, scaled.
 func (cfg *TPCHConfig) RunQuery(q string, bufBytes int64, mode columnbm.DecompressMode) QueryRun {
+	run, _ := cfg.RunQueryResult(q, bufBytes, mode)
+	return run
+}
+
+// RunQueryResult is RunQuery keeping the query's materialized result, so
+// harnesses can cross-check configurations against each other.
+func (cfg *TPCHConfig) RunQueryResult(q string, bufBytes int64, mode columnbm.DecompressMode) (QueryRun, [][]int64) {
 	db := tpch.NewDB(cfg.DS, cfg.Disk, cfg.Tables, bufBytes, mode)
 	cfg.Disk.ResetStats()
 	db.ResetStats()
 
 	start := time.Now()
-	tpch.Queries[q](db)
+	res := tpch.Queries[q](db)
 	cpu := time.Since(start)
 
 	run := QueryRun{
@@ -116,36 +123,47 @@ func (cfg *TPCHConfig) RunQuery(q string, bufBytes int64, mode columnbm.Decompre
 	if d := run.Decompress.Seconds(); d > 0 {
 		run.DecSpeed = float64(unc) / d / 1e6
 	}
-	return run
+	return run, res
 }
 
 // Table2 reproduces Table 2: per-query compression ratios, decompression
 // speed, and runtimes for DSM and PAX, uncompressed and compressed, on one
-// RAID configuration.
-func Table2(w io.Writer, sf float64, raid RAIDConfig, bufBytes int64) {
+// RAID configuration. Every configuration's result is compared against
+// the uncompressed DSM run; the number of diverging (query, config)
+// pairs is returned, zero when all four paths agree on every query.
+func Table2(w io.Writer, sf float64, raid RAIDConfig, bufBytes int64) int {
 	tbl := report.NewTable(
 		fmt.Sprintf("Table 2: TPC-H SF-%g on %s (times in ms; unc=uncompressed, compr=compressed)", sf, raid.Name),
 		"query", "DSM ratio", "PAX ratio", "dec.speed MB/s",
-		"DSM unc", "DSM compr", "PAX unc", "PAX compr", "DSM speedup")
+		"DSM unc", "DSM compr", "PAX unc", "PAX compr", "DSM speedup", "match")
 
 	dsmU := BuildTPCH(sf, columnbm.DSM, false, raid)
 	dsmC := BuildTPCH(sf, columnbm.DSM, true, raid)
 	paxU := BuildTPCH(sf, columnbm.PAX, false, raid)
 	paxC := BuildTPCH(sf, columnbm.PAX, true, raid)
 
+	diverged := 0
 	for _, q := range tpch.QueryOrder {
-		du := dsmU.RunQuery(q, bufBytes, columnbm.VectorWise)
-		dc := dsmC.RunQuery(q, bufBytes, columnbm.VectorWise)
-		pu := paxU.RunQuery(q, bufBytes, columnbm.VectorWise)
-		pc := paxC.RunQuery(q, bufBytes, columnbm.VectorWise)
+		du, want := dsmU.RunQueryResult(q, bufBytes, columnbm.VectorWise)
+		dc, dcRes := dsmC.RunQueryResult(q, bufBytes, columnbm.VectorWise)
+		pu, puRes := paxU.RunQueryResult(q, bufBytes, columnbm.VectorWise)
+		pc, pcRes := paxC.RunQueryResult(q, bufBytes, columnbm.VectorWise)
 		speedup := 0.0
 		if dc.Total > 0 {
 			speedup = float64(du.Total) / float64(dc.Total)
 		}
+		match := true
+		for _, res := range [][][]int64{dcRes, puRes, pcRes} {
+			if !tpch.ResultsEqual(res, want) {
+				match = false
+				diverged++
+			}
+		}
 		tbl.Row(q, dc.Ratio, pc.Ratio, dc.DecSpeed,
-			ms(du.Total), ms(dc.Total), ms(pu.Total), ms(pc.Total), speedup)
+			ms(du.Total), ms(dc.Total), ms(pu.Total), ms(pc.Total), speedup, match)
 	}
 	tbl.Print(w)
+	return diverged
 }
 
 // Table3 reproduces Table 3: I/O-RAM (page-wise) versus RAM-CPU cache

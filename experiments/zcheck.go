@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/columnbm"
+	"repro/internal/report"
+	"repro/internal/tpch"
+)
+
+// CompressedCheck cross-checks the compressed-domain query path (ZKC2
+// columns queried through Expr trees and code-space GroupAggregate)
+// against the decode-then-filter engine over the same generated dataset,
+// and prints a timing table. The oracle runs uncompressed DSM through
+// the vector-wise engine — the configuration every other path is gated
+// on — so a zero return means every ZQuery produced a byte-identical
+// result. The return value is the number of diverging queries.
+func CompressedCheck(w io.Writer, sf float64, bufBytes int64) int {
+	oracle := BuildTPCH(sf, columnbm.DSM, false, MidEndRAID)
+	zdb, err := tpch.BuildZDB(oracle.DS)
+	if err != nil {
+		fmt.Fprintf(w, "CompressedCheck: BuildZDB: %v\n", err)
+		return 1
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Compressed-domain cross-check: ZKC2 Expr/GroupAggregate vs engine oracle, SF-%g (times in ms)", sf),
+		"query", "oracle ms", "zkc2 ms", "rows", "match")
+
+	diverged := 0
+	for _, q := range tpch.ZQueryOrder {
+		run, want := oracle.RunQueryResult(q, bufBytes, columnbm.VectorWise)
+		start := time.Now()
+		got := tpch.ZQueries[q](zdb)
+		zt := time.Since(start)
+
+		rows := 0
+		if len(want) > 0 {
+			rows = len(want[0])
+		}
+		ok := tpch.ResultsEqual(got, want)
+		if !ok {
+			diverged++
+		}
+		tbl.Row(q, ms(run.CPUTime), ms(zt), rows, ok)
+	}
+	tbl.Print(w)
+	if diverged > 0 {
+		fmt.Fprintf(w, "COMPRESSED-DOMAIN DIVERGENCE: %d of %d queries disagree with the oracle\n",
+			diverged, len(tpch.ZQueryOrder))
+	}
+	return diverged
+}

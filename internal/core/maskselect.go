@@ -35,23 +35,53 @@ func (d *Decoder[T]) DecompressMask(blk *Block[T], lo, hi T, sv *SelectionVector
 		return
 	}
 	s := d.selectScratch()
+	d.buildMask(blk, lo, hi, sv.words, s)
+}
+
+// buildMask fills mask — (blk.N+31)/32 words — with the match bitmap of
+// the non-inverted range [lo, hi] over blk: the scheme dispatch shared by
+// DecompressMask (targeting a SelectionVector) and UnionMask (targeting
+// the scratch mask before the OR fold). Every word is assigned, so the
+// destination needs no clearing, and tail bits beyond blk.N stay zero.
+func (d *Decoder[T]) buildMask(blk *Block[T], lo, hi T, mask []uint32, s *selScratch[T]) {
 	switch blk.Scheme {
 	case SchemePFOR:
 		clo, span, ok := pforCodeRange(blk.Base, blk.B, lo, hi)
-		d.blockMasks(blk, clo, span, ok, sv.words)
-		d.maskFixExceptions(blk, lo, hi, sv.words, s)
+		d.blockMasks(blk, clo, span, ok, mask)
+		d.maskFixExceptions(blk, lo, hi, mask, s)
 	case SchemePDict:
 		clo, span, ok, contiguous := d.pdictCodeMatch(blk, lo, hi, s)
 		if contiguous {
-			d.blockMasks(blk, clo, span, ok, sv.words)
+			d.blockMasks(blk, clo, span, ok, mask)
 		} else {
-			d.bitmapMasks(blk, sv.words, s)
+			d.bitmapMasks(blk, mask, s)
 		}
-		d.maskFixExceptions(blk, lo, hi, sv.words, s)
+		d.maskFixExceptions(blk, lo, hi, mask, s)
 	case SchemePFORDelta:
-		d.maskPFORDelta(blk, lo, hi, sv.words, s)
+		d.maskPFORDelta(blk, lo, hi, mask, s)
 	default:
 		panic("core: cannot select on scheme " + blk.Scheme.String())
+	}
+}
+
+// UnionMask ORs the match bitmap of the inclusive range [lo, hi] over blk
+// into sv — the disjunction counterpart of RefineMask. The branch's
+// bitmap is built in the decoder's scratch mask with the same kernels
+// DecompressMask uses (exception slots judged on their true values, never
+// on their bogus gap codes), then folded into sv one OR per 32 rows. An
+// inverted range (lo > hi) adds nothing. sv must cover exactly blk.N rows.
+func (d *Decoder[T]) UnionMask(blk *Block[T], lo, hi T, sv *SelectionVector) {
+	if sv.n != blk.N {
+		panic(fmt.Sprintf("core: selection of %d rows unioned against block of %d", sv.n, blk.N))
+	}
+	if blk.N == 0 || lo > hi {
+		return
+	}
+	s := d.selectScratch()
+	tmp := s.maskBuf(blk.N)
+	d.buildMask(blk, lo, hi, tmp, s)
+	for i, w := range tmp {
+		sv.words[i] |= w
 	}
 }
 
@@ -343,6 +373,77 @@ func (d *Decoder[T]) DecompressSelected(blk *Block[T], sv *SelectionVector, vals
 		}
 	}
 	return vals[:k]
+}
+
+// DecompressSelectedCodes appends, for every row selected by sv in row
+// order, the row's PDICT dictionary code — or -1 for exception slots,
+// whose packed codes are bogus patch-list gaps and whose true values live
+// only in the exception section. This is the group-key extraction of
+// code-space grouped aggregation: keys stay in the tiny code domain, the
+// caller aggregates per code and decodes the dictionary once at the end,
+// handling the rare -1 rows on their materialized values. blk must be
+// PDICT; sv must cover exactly blk.N rows.
+func (d *Decoder[T]) DecompressSelectedCodes(blk *Block[T], sv *SelectionVector, codes []int32) []int32 {
+	if blk.Scheme != SchemePDict {
+		panic("core: DecompressSelectedCodes on scheme " + blk.Scheme.String())
+	}
+	if sv.n != blk.N {
+		panic(fmt.Sprintf("core: selection of %d rows gathered from block of %d", sv.n, blk.N))
+	}
+	count := sv.Count()
+	if count == 0 {
+		return codes
+	}
+	k := len(codes)
+	if cap(codes) < k+count {
+		out := make([]int32, k, max(k+count, 2*cap(codes)))
+		copy(out, codes)
+		codes = out
+	}
+	codes = codes[:k+count]
+	s := d.selectScratch()
+	mask := sv.words
+	packed := blk.Codes
+	b := blk.B
+	numGroups := blk.NumGroups()
+	for g := 0; g < numGroups; g++ {
+		gStart, gEnd := groupBounds(blk, g)
+		w0 := gStart >> 5
+		w1 := (gEnd + 31) >> 5
+		if allZero(mask[w0:w1]) {
+			continue
+		}
+		es, ee := blk.groupExc(g)
+		if es == ee {
+			for w := w0; w < w1; w++ {
+				vb := w << 5
+				for m := mask[w]; m != 0; m &= m - 1 {
+					p := vb + bits.TrailingZeros32(m)
+					codes[k] = int32(bitpack.CodeAt(packed, p, b))
+					k++
+				}
+			}
+			continue
+		}
+		all := d.excPositions(blk, g, &s.xpos)
+		xi := 0
+		for w := w0; w < w1; w++ {
+			vb := w << 5
+			for m := mask[w]; m != 0; m &= m - 1 {
+				p := vb + bits.TrailingZeros32(m)
+				for xi < len(all) && int(all[xi]) < p {
+					xi++
+				}
+				if xi < len(all) && int(all[xi]) == p {
+					codes[k] = -1
+				} else {
+					codes[k] = int32(bitpack.CodeAt(packed, p, b))
+				}
+				k++
+			}
+		}
+	}
+	return codes[:k]
 }
 
 // growTo extends vals to length n, reusing capacity when possible.

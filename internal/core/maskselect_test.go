@@ -52,6 +52,19 @@ func checkMaskCompose[T Integer](t *testing.T, name string, blk *Block[T], r1, r
 		t.Fatalf("%s [%v,%v]∧[%v,%v]: vals mismatch\n got %v\nwant %v",
 			name, r1[0], r1[1], r2[0], r2[1], gotVals, wantVals)
 	}
+
+	// The same pair as a disjunction: a fresh mask of r1 unioned with r2
+	// must select exactly the rows either oracle filter passes.
+	var u SelectionVector
+	d.DecompressMask(blk, r1[0], r1[1], &u)
+	d.UnionMask(blk, r2[0], r2[1], &u)
+	for i, v := range dst {
+		want := (v >= r1[0] && v <= r1[1]) || (v >= r2[0] && v <= r2[1])
+		if u.Test(i) != want {
+			t.Fatalf("%s [%v,%v]∨[%v,%v]: union bit %d = %v, value %v",
+				name, r1[0], r1[1], r2[0], r2[1], i, u.Test(i), v)
+		}
+	}
 }
 
 // maskRangePairs builds conjunction pairs out of rangesFor's shapes,
@@ -197,14 +210,102 @@ func TestSelectionVector(t *testing.T) {
 		t.Fatalf("And: test(0)=%v count=%d", sv.Test(0), sv.Count())
 	}
 
-	defer func() {
-		if recover() == nil {
-			t.Fatal("And over mismatched lengths: expected panic")
+	var disj SelectionVector
+	disj.Reset(70)
+	disj.Set(0)
+	disj.Set(69)
+	sv.Or(&disj)
+	if !sv.Test(0) || !sv.Test(69) || sv.Count() != 4 {
+		t.Fatalf("Or: test(0)=%v test(69)=%v count=%d", sv.Test(0), sv.Test(69), sv.Count())
+	}
+
+	for _, op := range []func(*SelectionVector){sv.And, sv.Or} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("And/Or over mismatched lengths: expected panic")
+				}
+			}()
+			var short SelectionVector
+			short.Fill(10)
+			op(&short)
+		}()
+	}
+}
+
+// TestDecompressSelectedCodes pins the group-key extraction contract:
+// selected non-exception rows yield their dictionary code, selected
+// exception slots — out-of-dict values AND the compulsory patch-list
+// entries the gap limit forces, whose true value is in the dict — yield
+// -1, and codes arrive in row order aligned with DecompressSelected.
+func TestDecompressSelectedCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	dict := []int64{40, 10, 30, 20, 70, 50}
+	src := make([]int64, 2500)
+	outOfDict := make(map[int]bool)
+	for i := range src {
+		src[i] = dict[rng.Intn(len(dict))]
+		if rng.Intn(31) == 0 {
+			src[i] = 1000 + rng.Int63n(100)
+			outOfDict[i] = true
 		}
-	}()
-	var short SelectionVector
-	short.Fill(10)
-	sv.And(&short)
+	}
+	blk := CompressPDict(src, dict, 3)
+	var d Decoder[int64]
+
+	// The ground truth of which slots are exceptions comes from the block
+	// itself: every patch-list position, compulsory or not.
+	excSlot := make(map[int]bool)
+	var xpos [GroupSize]int32
+	for g := 0; g < blk.NumGroups(); g++ {
+		for _, pos := range d.excPositions(blk, g, &xpos) {
+			excSlot[int(pos)] = true
+		}
+	}
+	for i := range src {
+		if outOfDict[i] && !excSlot[i] {
+			t.Fatalf("row %d holds out-of-dict value %d but is not an exception slot", i, src[i])
+		}
+	}
+
+	var sv SelectionVector
+	d.DecompressMask(blk, 0, 1<<40, &sv) // everything, exceptions included
+	codes := d.DecompressSelectedCodes(blk, &sv, nil)
+	vals := d.DecompressSelected(blk, &sv, nil)
+	if len(codes) != len(src) || len(vals) != len(src) {
+		t.Fatalf("selected %d codes / %d vals, want %d", len(codes), len(vals), len(src))
+	}
+	check := func(row int, code int32) {
+		t.Helper()
+		if excSlot[row] {
+			if code != -1 {
+				t.Fatalf("row %d: exception slot yielded code %d, want -1", row, code)
+			}
+		} else if code < 0 || dict[code] != src[row] {
+			t.Fatalf("row %d: code %d, want the code of %d", row, code, src[row])
+		}
+	}
+	for i, c := range codes {
+		check(i, c)
+		if vals[i] != src[i] {
+			t.Fatalf("row %d: gathered %d, want %d", i, vals[i], src[i])
+		}
+	}
+
+	// A sparse selection must keep codes and rows aligned.
+	sv.Reset(blk.N)
+	var wantRows []int
+	for i := 0; i < blk.N; i += 7 {
+		sv.Set(i)
+		wantRows = append(wantRows, i)
+	}
+	codes = d.DecompressSelectedCodes(blk, &sv, codes[:0])
+	if len(codes) != len(wantRows) {
+		t.Fatalf("sparse selected %d codes, want %d", len(codes), len(wantRows))
+	}
+	for j, i := range wantRows {
+		check(i, codes[j])
+	}
 }
 
 // TestRefineMaskZeroGroupSkipsDecode pins the skip contract indirectly: a

@@ -102,6 +102,21 @@ func (sv *SelectionVector) And(other *SelectionVector) {
 	}
 }
 
+// Or unions sv with other in place: a branch-free word-wise OR — the
+// composition step for disjunctive predicates, where each OR-branch
+// builds its own match bitmap and the branches fold together one word
+// per 32 rows. Both vectors must cover the same number of rows. Both
+// inputs keep their tail bits zero, so the union preserves the
+// zero-tail invariant without masking.
+func (sv *SelectionVector) Or(other *SelectionVector) {
+	if sv.n != other.n {
+		panic("core: OR of selection vectors of different lengths")
+	}
+	for i, w := range other.words {
+		sv.words[i] |= w
+	}
+}
+
 // AppendRows appends base+i for every selected row i to dst, in row
 // order — the bitmap-to-row-number decode of the materialization step.
 func (sv *SelectionVector) AppendRows(dst []int64, base int64) []int64 {

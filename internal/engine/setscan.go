@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/zukowski"
+)
+
+// SetScan adapts a compressed-domain ColumnSet query to the operator
+// interface. The predicate expression is evaluated below decompression —
+// zone maps prune whole blocks, RefineMask/UnionMask run on compressed
+// words — and only surviving rows of the requested columns are
+// materialized. The filtered result then replays as BatchSize batches in
+// row order, so downstream operators (HashAgg's first-seen group order,
+// TopN's tie handling, HashJoin's build order) behave exactly as they
+// would over an unfiltered Scan + Select pipeline.
+type SetScan struct {
+	src *SliceSource
+}
+
+// NewSetScan runs expr over cs once, materializing the named column
+// indexes at the surviving rows, and returns an operator replaying the
+// result. The scan is eager: query errors surface here as a panic (the
+// operator interface has no error path), which suits the in-memory
+// ColumnSets the benchmark harness builds.
+func NewSetScan(cs *zukowski.ColumnSet[int64], expr zukowski.Expr[int64], cols ...int) *SetScan {
+	_, vals, err := cs.Project(expr, cols...)
+	if err != nil {
+		panic(fmt.Sprintf("engine: SetScan: %v", err))
+	}
+	return &SetScan{src: NewSliceSource(vals)}
+}
+
+// Next returns the next batch, nil at end of stream.
+func (s *SetScan) Next() *Batch { return s.src.Next() }

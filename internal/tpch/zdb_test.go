@@ -1,0 +1,117 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/columnbm"
+	"repro/zukowski"
+)
+
+// TestZQueriesMatchOracle is the compressed-domain cross-check: every
+// ZQuery over ZKC2 columns must produce exactly the result of the
+// corresponding decode-then-filter engine query over the same dataset.
+func TestZQueriesMatchOracle(t *testing.T) {
+	ds, db := buildDB(t, columnbm.DSM, false, columnbm.VectorWise)
+	zdb, err := BuildZDB(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ZQueryOrder {
+		zq, ok := ZQueries[q]
+		if !ok {
+			t.Fatalf("ZQueryOrder names %s but ZQueries lacks it", q)
+		}
+		want := Queries[q](db)
+		got := zq(zdb)
+		if !ResultsEqual(got, want) {
+			t.Errorf("ZQ%s diverges from oracle:\n got %v\nwant %v", q, got, want)
+		}
+	}
+}
+
+// TestZDBScanRoundTrip checks that an unfiltered compressed scan returns
+// the generated data verbatim, batch edges included.
+func TestZDBScanRoundTrip(t *testing.T) {
+	ds := Generate(testSF, 42)
+	zdb, err := BuildZDB(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel(Orders)
+	scan := zdb.Scan(Orders, "o_orderkey", "o_orderdate")
+	keys, dates := rel.Column("o_orderkey"), rel.Column("o_orderdate")
+	row := 0
+	for {
+		b := scan.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			if b.Cols[0][i] != keys[row] || b.Cols[1][i] != dates[row] {
+				t.Fatalf("row %d: got (%d,%d), want (%d,%d)",
+					row, b.Cols[0][i], b.Cols[1][i], keys[row], dates[row])
+			}
+			row++
+		}
+	}
+	if row != rel.Rows() {
+		t.Fatalf("scanned %d rows, want %d", row, rel.Rows())
+	}
+}
+
+// TestZDBScanWherePushdown checks predicate pushdown row selection
+// against a scalar filter.
+func TestZDBScanWherePushdown(t *testing.T) {
+	ds := Generate(testSF, 42)
+	zdb, err := BuildZDB(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ds.Rel(Lineitem)
+	lo, hi := Date(1994, 1, 1), Date(1995, 1, 1)-1
+	expr := zukowski.Or(
+		zukowski.Range[int64](rel.Col("l_shipdate"), lo, hi),
+		zukowski.In[int64](rel.Col("l_discount"), 0, 10),
+	)
+	scan := zdb.ScanWhere(Lineitem, expr, "l_shipdate", "l_discount")
+	ship, disc := rel.Column("l_shipdate"), rel.Column("l_discount")
+	var want int
+	for i := range ship {
+		if (ship[i] >= lo && ship[i] <= hi) || disc[i] == 0 || disc[i] == 10 {
+			want++
+		}
+	}
+	var got int
+	for {
+		b := scan.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			d, s := b.Cols[1][i], b.Cols[0][i]
+			if !((s >= lo && s <= hi) || d == 0 || d == 10) {
+				t.Fatalf("row (%d,%d) fails the predicate", s, d)
+			}
+		}
+		got += b.N
+	}
+	if got != want {
+		t.Fatalf("pushdown kept %d rows, scalar filter keeps %d", got, want)
+	}
+}
+
+// TestResultsEqual pins the nil-versus-empty and shape semantics.
+func TestResultsEqual(t *testing.T) {
+	if !ResultsEqual([][]int64{nil}, [][]int64{{}}) {
+		t.Fatal("nil column should equal empty column")
+	}
+	if ResultsEqual([][]int64{{1}}, [][]int64{{2}}) {
+		t.Fatal("value mismatch not detected")
+	}
+	if ResultsEqual([][]int64{{1}}, [][]int64{{1}, {1}}) {
+		t.Fatal("arity mismatch not detected")
+	}
+	if ResultsEqual([][]int64{{1}}, [][]int64{{1, 2}}) {
+		t.Fatal("length mismatch not detected")
+	}
+}

@@ -139,6 +139,20 @@ func DoWithRetry(ctx context.Context, p RetryPolicy, op func() error) (attempts 
 	}
 }
 
+// AnyOf assembles a request's disjunctive predicate: each group of
+// specs becomes one alternative (the AND of its specs), and the scan
+// keeps a row when any alternative holds alongside the request's
+// top-level preds. Servers advertise support as "any_of" in
+// TablesResponse.Features; older servers reject the unknown field
+// with 400.
+func AnyOf(groups ...[]zkserve.PredSpec) []zkserve.PredGroup {
+	out := make([]zkserve.PredGroup, len(groups))
+	for i, g := range groups {
+		out[i] = zkserve.PredGroup{Preds: g}
+	}
+	return out
+}
+
 // Client talks to one zkserve server.
 type Client struct {
 	base string

@@ -62,11 +62,29 @@ type PredSpec struct {
 	Hi  *int64 `json:"hi,omitempty"`
 }
 
+// PredGroup is one alternative of an any_of disjunction: the AND of its
+// Preds. AnyOf is reserved for deeper nesting; the server supports one
+// level of disjunction, so a request carrying a nested group is refused
+// with 422 rather than silently mis-evaluated.
+type PredGroup struct {
+	Preds []PredSpec  `json:"preds"`
+	AnyOf []PredGroup `json:"any_of,omitempty"`
+}
+
 // ScanRequest is the POST /scan body.
 type ScanRequest struct {
 	Table string     `json:"table"`
 	Cols  []string   `json:"cols"`
 	Preds []PredSpec `json:"preds,omitempty"`
+
+	// AnyOf adds a disjunctive predicate: a row survives when every
+	// Preds conjunct holds AND at least one group's conjuncts all hold.
+	// The server maps the disjunction onto a compressed-domain expression
+	// tree — zone maps prune a block only when every alternative is
+	// excluded, and surviving blocks are filtered without decoding
+	// non-matching rows. In frame mode the groups participate in block
+	// pruning only, like Preds.
+	AnyOf []PredGroup `json:"any_of,omitempty"`
 
 	// Agg switches the scan to aggregation: "count", "sum", "min", "max"
 	// or "all" computes over AggCol (default: the first of Cols) and
@@ -120,6 +138,11 @@ type TablesResponse struct {
 	Tables []TableMeta `json:"tables"`
 	Codecs []string    `json:"codecs"`
 	Cache  CacheInfo   `json:"cache"`
+
+	// Features lists optional scan-protocol capabilities this server
+	// understands ("any_of", ...), so clients can probe before sending a
+	// request an older server would reject as an unknown field.
+	Features []string `json:"features"`
 }
 
 // Server serves scans over HTTP. Create with NewServer; it implements
@@ -284,21 +307,28 @@ func (s *Server) buildPlan(req *ScanRequest) (plan *scanPlan, aggCol int, err er
 		plan.out = append(plan.out, ci)
 	}
 	for i, ps := range req.Preds {
-		if ps.Col == "" {
-			return nil, 0, fmt.Errorf("%w: predicate %d names no column", ErrBadRequest, i)
-		}
-		ci, err := t.colIndex(ps.Col)
+		spec, err := resolvePred(t, ps, fmt.Sprintf("predicate %d", i))
 		if err != nil {
 			return nil, 0, err
 		}
-		spec := predSpec{col: ci, lo: int64(-1) << 63, hi: 1<<63 - 1}
-		if ps.Lo != nil {
-			spec.lo = *ps.Lo
-		}
-		if ps.Hi != nil {
-			spec.hi = *ps.Hi
-		}
 		plan.preds = append(plan.preds, spec)
+	}
+	for gi, g := range req.AnyOf {
+		if len(g.AnyOf) > 0 {
+			return nil, 0, fmt.Errorf("%w: any_of group %d nests any_of (one level of disjunction is supported)", ErrMismatch, gi)
+		}
+		if len(g.Preds) == 0 {
+			return nil, 0, fmt.Errorf("%w: any_of group %d holds no predicates", ErrBadRequest, gi)
+		}
+		group := make([]predSpec, 0, len(g.Preds))
+		for i, ps := range g.Preds {
+			spec, err := resolvePred(t, ps, fmt.Sprintf("any_of group %d predicate %d", gi, i))
+			if err != nil {
+				return nil, 0, err
+			}
+			group = append(group, spec)
+		}
+		plan.orGroups = append(plan.orGroups, group)
 	}
 	aggCol = -1
 	if req.Agg != "" {
@@ -332,6 +362,27 @@ func (s *Server) buildPlan(req *ScanRequest) (plan *scanPlan, aggCol int, err er
 		return nil, 0, fmt.Errorf("%w: no output columns", ErrBadRequest)
 	}
 	return plan, aggCol, nil
+}
+
+// resolvePred maps one wire predicate onto the table's column space,
+// defaulting open bounds to the full int64 domain. where names the
+// predicate's position in error messages.
+func resolvePred(t *Table, ps PredSpec, where string) (predSpec, error) {
+	if ps.Col == "" {
+		return predSpec{}, fmt.Errorf("%w: %s names no column", ErrBadRequest, where)
+	}
+	ci, err := t.colIndex(ps.Col)
+	if err != nil {
+		return predSpec{}, err
+	}
+	spec := predSpec{col: ci, lo: int64(-1) << 63, hi: 1<<63 - 1}
+	if ps.Lo != nil {
+		spec.lo = *ps.Lo
+	}
+	if ps.Hi != nil {
+		spec.hi = *ps.Hi
+	}
+	return spec, nil
 }
 
 // tighten returns the effective budget: the smaller of the server-wide
@@ -582,7 +633,7 @@ func (s *Server) runFrames(ctx context.Context, w http.ResponseWriter, plan *sca
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	resp := TablesResponse{Codecs: zukowski.Codecs()}
+	resp := TablesResponse{Codecs: zukowski.Codecs(), Features: []string{"any_of"}}
 	if s.reg.CacheEnabled() {
 		st := s.reg.CacheStats()
 		resp.Cache = CacheInfo{

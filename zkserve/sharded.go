@@ -153,7 +153,7 @@ func (t *Table) metaSharded() TableMeta {
 // carry over unchanged: every segment holds the full schema in the same
 // order.
 func (p *scanPlan) subPlan(s *servedSeg) *scanPlan {
-	return &scanPlan{table: s.sub, out: p.out, preds: p.preds, workers: p.workers, skip: p.skip, report: p.report}
+	return &scanPlan{table: s.sub, out: p.out, preds: p.preds, orGroups: p.orGroups, workers: p.workers, skip: p.skip, report: p.report}
 }
 
 // skipSeg handles one quarantined segment: under degraded mode every

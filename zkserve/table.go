@@ -13,9 +13,10 @@ import (
 // domain, and a worker count. Execution dispatches on the involved
 // columns' shared element width to the generic runners below, which
 // build a zukowski.ColumnSet over exactly the involved columns and push
-// the conjunction into ScanWhereAllContext — zone-map pruning,
-// compressed-domain bitmaps and refine kernels all engage server-side,
-// and only surviving rows are widened onto the wire.
+// the predicate — the conjunction plus any any_of disjunction, mapped
+// onto an expression tree — into ColumnSet.Run: zone-map pruning,
+// compressed-domain bitmaps and refine/union kernels all engage
+// server-side, and only surviving rows are widened onto the wire.
 
 // predSpec is one resolved conjunct in the wire domain.
 type predSpec struct {
@@ -30,19 +31,15 @@ type scanPlan struct {
 	preds   []predSpec
 	workers int
 
+	// orGroups is the resolved any_of disjunction: a row must satisfy
+	// every preds conjunct AND all conjuncts of at least one group. Empty
+	// means no disjunction.
+	orGroups [][]predSpec
+
 	// skip makes the scan degraded: corrupt or quarantined blocks are
 	// dropped and accounted in report instead of failing the request.
 	skip   bool
 	report *zukowski.ScanReport
-}
-
-// scanOpts translates the plan's degraded-mode setting into engine
-// options.
-func (p *scanPlan) scanOpts(extra ...zukowski.ScanOption) []zukowski.ScanOption {
-	if p.skip {
-		extra = append(extra, zukowski.SkipCorrupt(p.report))
-	}
-	return extra
 }
 
 // involved returns the deduplicated union of output and predicate
@@ -62,7 +59,40 @@ func (p *scanPlan) involved() []int {
 	for _, ps := range p.preds {
 		add(ps.col)
 	}
+	for _, g := range p.orGroups {
+		for _, ps := range g {
+			add(ps.col)
+		}
+	}
 	return inv
+}
+
+// blockExcluded reports whether block b's zone maps prove the plan's
+// predicate selects no row of it: some conjunct excludes the block, or
+// the disjunction is present and every alternative has an excluding
+// conjunct. A predicate with lo > hi excludes everything.
+func (p *scanPlan) blockExcluded(b int) bool {
+	for _, ps := range p.preds {
+		if ps.lo > ps.hi || p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
+			return true
+		}
+	}
+	if len(p.orGroups) == 0 {
+		return false
+	}
+	for _, g := range p.orGroups {
+		live := true
+		for _, ps := range g {
+			if ps.lo > ps.hi || p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
+				live = false
+				break
+			}
+		}
+		if live {
+			return false
+		}
+	}
+	return true
 }
 
 // checkGeometry verifies the involved columns agree on rows and block
@@ -144,14 +174,7 @@ func (p *scanPlan) blockStats() (scanned, pruned int, rawBytes int64) {
 		rowWidth += int64(p.table.cols[ci].widthBytes())
 	}
 	for b := 0; b < first.numBlocks(); b++ {
-		excluded := false
-		for _, ps := range p.preds {
-			if p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
-				excluded = true
-				break
-			}
-		}
-		if excluded {
+		if p.blockExcluded(b) {
 			pruned++
 			continue
 		}
@@ -220,16 +243,20 @@ func (p *scanPlan) aggregate(ctx context.Context, aggCol int) (AggResult, error)
 }
 
 // buildSet assembles the typed ColumnSet over the involved columns and
-// translates the plan's predicates into its index space. empty reports a
-// conjunction with no possible match (a predicate range with no image in
-// T's domain) — the caller should emit zero rows and succeed.
-func buildSet[T zukowski.Integer](p *scanPlan, involved []int) (set *zukowski.ColumnSet[T], setIdx map[int]int, preds []zukowski.Pred[T], empty bool, err error) {
+// translates the plan's predicates into its index space: the conjunction
+// as Preds, the any_of disjunction as an Or-of-Ands expression tree.
+// empty reports a predicate with no possible match — a conjunct whose
+// range has no image in T's domain, or a disjunction whose every
+// alternative has one — and the caller should emit zero rows and
+// succeed. An alternative with an unrepresentable conjunct is dropped
+// (it can never hold); the others still apply.
+func buildSet[T zukowski.Integer](p *scanPlan, involved []int) (set *zukowski.ColumnSet[T], setIdx map[int]int, q zukowski.Query[T], empty bool, err error) {
 	readers := make([]*zukowski.ColumnReader[T], len(involved))
 	setIdx = make(map[int]int, len(involved))
 	for i, ci := range involved {
 		cr, ok := p.table.cols[ci].reader().(*zukowski.ColumnReader[T])
 		if !ok {
-			return nil, nil, nil, false, fmt.Errorf("%w: column %q element width changed underfoot",
+			return nil, nil, q, false, fmt.Errorf("%w: column %q element width changed underfoot",
 				ErrMismatch, p.table.cols[ci].colName())
 		}
 		readers[i] = cr
@@ -237,52 +264,79 @@ func buildSet[T zukowski.Integer](p *scanPlan, involved []int) (set *zukowski.Co
 	}
 	set, err = zukowski.NewColumnSet(readers...)
 	if err != nil {
-		return nil, nil, nil, false, err
+		return nil, nil, q, false, err
 	}
 	for _, ps := range p.preds {
 		tlo, thi, ok := clampRange[T](ps.lo, ps.hi)
 		if !ok {
-			return set, setIdx, nil, true, nil
+			return set, setIdx, q, true, nil
 		}
-		preds = append(preds, zukowski.Pred[T]{Col: setIdx[ps.col], Lo: tlo, Hi: thi})
+		q.Preds = append(q.Preds, zukowski.Pred[T]{Col: setIdx[ps.col], Lo: tlo, Hi: thi})
 	}
-	return set, setIdx, preds, false, nil
+	if len(p.orGroups) > 0 {
+		branches := make([]zukowski.Expr[T], 0, len(p.orGroups))
+		for _, g := range p.orGroups {
+			branch := make([]zukowski.Expr[T], 0, len(g))
+			dead := false
+			for _, ps := range g {
+				tlo, thi, ok := clampRange[T](ps.lo, ps.hi)
+				if !ok {
+					dead = true
+					break
+				}
+				branch = append(branch, zukowski.Range[T](setIdx[ps.col], tlo, thi))
+			}
+			if dead {
+				continue
+			}
+			if len(branch) == 1 {
+				branches = append(branches, branch[0])
+			} else {
+				branches = append(branches, zukowski.And(branch...))
+			}
+		}
+		if len(branches) == 0 {
+			return set, setIdx, q, true, nil
+		}
+		q.Expr = zukowski.Or(branches...)
+	}
+	q.SkipCorrupt = p.skip
+	q.Report = p.report
+	return set, setIdx, q, false, nil
 }
 
 func runScan[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []int, emit func(rows []int64, vals [][]int64) bool) error {
-	set, setIdx, preds, empty, err := buildSet[T](p, involved)
+	set, setIdx, q, empty, err := buildSet[T](p, involved)
 	if err != nil || empty {
 		return err
 	}
-	outIdx := make([]int, len(p.out))
+	q.Cols = make([]int, len(p.out))
 	for i, ci := range p.out {
-		outIdx[i] = setIdx[ci]
+		q.Cols[i] = setIdx[ci]
+	}
+	if p.workers > 1 {
+		q.Workers = p.workers
+		q.InOrder = true
 	}
 	widened := make([][]int64, len(p.out))
-	deliver := func(rows []int64, cols [][]T) bool {
-		for i, si := range outIdx {
+	return set.Run(ctx, q, func(_ int, rows []int64, cols [][]T) bool {
+		for i := range cols {
 			w := widened[i][:0]
-			for _, v := range cols[si] {
+			for _, v := range cols[i] {
 				w = append(w, int64(v))
 			}
 			widened[i] = w
 		}
 		return emit(rows, widened)
-	}
-	if p.workers > 1 {
-		return set.ParallelScanWhereAllContext(ctx, preds, p.workers,
-			func(_ int, rows []int64, cols [][]T) bool { return deliver(rows, cols) },
-			p.scanOpts(zukowski.InOrder())...)
-	}
-	return set.ScanWhereAllContext(ctx, preds, deliver, p.scanOpts()...)
+	})
 }
 
 func runAggregate[T zukowski.Integer](ctx context.Context, p *scanPlan, involved []int, aggCol int) (AggResult, error) {
-	set, setIdx, preds, empty, err := buildSet[T](p, involved)
+	set, setIdx, q, empty, err := buildSet[T](p, involved)
 	if err != nil || empty {
 		return AggResult{}, err
 	}
-	agg, err := set.AggregateWhereAllContext(ctx, preds, setIdx[aggCol], p.scanOpts()...)
+	agg, err := set.RunAggregate(ctx, q, setIdx[aggCol])
 	if err != nil {
 		return AggResult{}, err
 	}
@@ -301,23 +355,11 @@ func (p *scanPlan) streamBlocks(ctx context.Context, emit func(b int, firstRow i
 	}
 	first := p.table.cols[p.involved()[0]]
 	frames := make([][]byte, len(p.out))
-	for _, ps := range p.preds {
-		if ps.lo > ps.hi {
-			return nil
-		}
-	}
 	for b := 0; b < first.numBlocks(); b++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		excluded := false
-		for _, ps := range p.preds {
-			if p.table.cols[ps.col].excludes(b, ps.lo, ps.hi) {
-				excluded = true
-				break
-			}
-		}
-		if excluded {
+		if p.blockExcluded(b) {
 			continue
 		}
 		bad := false

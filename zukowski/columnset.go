@@ -107,6 +107,15 @@ type setState[T Integer] struct {
 	out  [][]T // out[i] aliases cols[i].gath after materialization
 	ord  []int // predicate evaluation order scratch
 	est  []float64
+
+	// svPool holds scratch selection vectors for nested expression
+	// subtrees (see pushSV), one per active depth, reused across blocks.
+	svPool  []*core.SelectionVector
+	svDepth int
+
+	// codes is the per-block dictionary-code scratch of GroupAggregate's
+	// code-space path, one slice per group column.
+	codes [][]int32
 }
 
 func (cs *ColumnSet[T]) getState() *setState[T] {
@@ -177,25 +186,29 @@ func b2u32(v bool) uint32 {
 }
 
 // maskCol evaluates [lo, hi] over column ci's block b into sv: a fresh
-// bitmap when refine is false, an intersection with the running bitmap
-// when true. Patched frames stay in the compressed code domain; raw and
-// baseline frames compare decoded values (fetched once per block thanks
-// to the prepare memo).
-func (cs *ColumnSet[T]) maskCol(st *setColState[T], ci, b int, lo, hi T, sv *core.SelectionVector, refine bool) error {
+// bitmap (maskFresh), an intersection with the running bitmap
+// (maskRefine), or a union into it (maskUnion). Patched frames stay in
+// the compressed code domain; raw and baseline frames compare decoded
+// values (fetched once per block thanks to the prepare memo).
+func (cs *ColumnSet[T]) maskCol(st *setColState[T], ci, b int, lo, hi T, sv *core.SelectionVector, mode uint8) error {
 	patched, err := st.prepare(cs.cols[ci], b)
 	if err != nil {
 		return err
 	}
 	if patched {
-		if refine {
+		switch mode {
+		case maskRefine:
 			st.dec.RefineMask(&st.blk, lo, hi, sv)
-		} else {
+		case maskUnion:
+			st.dec.UnionMask(&st.blk, lo, hi, sv)
+		default:
 			st.dec.DecompressMask(&st.blk, lo, hi, sv)
 		}
 		return nil
 	}
 	vals := st.vals
-	if refine {
+	switch mode {
+	case maskRefine:
 		words := sv.Words()
 		for w, m := range words {
 			if m == 0 {
@@ -210,19 +223,34 @@ func (cs *ColumnSet[T]) maskCol(st *setColState[T], ci, b int, lo, hi T, sv *cor
 			}
 			words[w] = m & match
 		}
-		return nil
-	}
-	sv.Reset(len(vals))
-	words := sv.Words()
-	for w := range words {
-		vb := w << 5
-		lim := min(32, len(vals)-vb)
-		var m uint32
-		for j := 0; j < lim; j++ {
-			v := vals[vb+j]
-			m |= b2u32(v >= lo && v <= hi) << j
+	case maskUnion:
+		if lo > hi {
+			return nil
 		}
-		words[w] = m
+		words := sv.Words()
+		for w := range words {
+			vb := w << 5
+			lim := min(32, len(vals)-vb)
+			var m uint32
+			for j := 0; j < lim; j++ {
+				v := vals[vb+j]
+				m |= b2u32(v >= lo && v <= hi) << j
+			}
+			words[w] |= m
+		}
+	default:
+		sv.Reset(len(vals))
+		words := sv.Words()
+		for w := range words {
+			vb := w << 5
+			lim := min(32, len(vals)-vb)
+			var m uint32
+			for j := 0; j < lim; j++ {
+				v := vals[vb+j]
+				m |= b2u32(v >= lo && v <= hi) << j
+			}
+			words[w] = m
+		}
 	}
 	return nil
 }
@@ -332,7 +360,11 @@ func (cs *ColumnSet[T]) blockMask(st *setState[T], b int, preds []Pred[T]) (any 
 	ord := st.orderPreds(cs, b, preds)
 	for k, pi := range ord {
 		p := preds[pi]
-		if err := cs.maskCol(&st.cols[p.Col], p.Col, b, p.Lo, p.Hi, &st.sv, k > 0); err != nil {
+		mode := maskFresh
+		if k > 0 {
+			mode = maskRefine
+		}
+		if err := cs.maskCol(&st.cols[p.Col], p.Col, b, p.Lo, p.Hi, &st.sv, mode); err != nil {
 			return false, err
 		}
 		if !st.sv.Any() {
@@ -342,59 +374,77 @@ func (cs *ColumnSet[T]) blockMask(st *setState[T], b int, preds []Pred[T]) (any 
 	return true, nil
 }
 
-// blockWhereAll evaluates block b: bitmap composition, then row-number
-// decoding and per-column materialization of the survivors. rows is nil
-// when no row survives.
-func (cs *ColumnSet[T]) blockWhereAll(st *setState[T], b int, preds []Pred[T]) (rows []int64, out [][]T, err error) {
-	any, err := cs.blockMask(st, b, preds)
+// blockMaskQuery composes block b's bitmap for q: the []Pred conjunction
+// first (most-selective-first, exactly the blockMask path), then the
+// expression tree refining it — or, without preds, the tree evaluated
+// fresh. Either side emptying the bitmap stops the block early.
+func (cs *ColumnSet[T]) blockMaskQuery(st *setState[T], b int, q *Query[T]) (any bool, err error) {
+	if q.Expr.isZero() {
+		return cs.blockMask(st, b, q.Preds)
+	}
+	if len(q.Preds) > 0 {
+		any, err = cs.blockMask(st, b, q.Preds)
+		if err != nil || !any {
+			return any, err
+		}
+		defer guardSegment(&err)
+		if err = cs.evalExpr(st, &q.Expr, b, st.sv.Len(), &st.sv, maskRefine); err != nil {
+			return false, err
+		}
+		return st.sv.Any(), nil
+	}
+	defer guardSegment(&err)
+	st.begin()
+	n := int(cs.cols[0].blocks[b].count)
+	if err = cs.evalExpr(st, &q.Expr, b, n, &st.sv, maskFresh); err != nil {
+		return false, err
+	}
+	return st.sv.Any(), nil
+}
+
+// blockQuery evaluates block b of q: bitmap composition, then row-number
+// decoding and materialization of the requested columns (all of them when
+// q.Cols is nil). rows is nil when no row survives.
+func (cs *ColumnSet[T]) blockQuery(st *setState[T], b int, q *Query[T]) (rows []int64, out [][]T, err error) {
+	any, err := cs.blockMaskQuery(st, b, q)
 	if err != nil || !any {
 		return nil, nil, err
 	}
 	defer guardSegment(&err)
 	st.rows = st.sv.AppendRows(st.rows[:0], int64(cs.cols[0].starts[b]))
-	for ci := range cs.cols {
+	if q.Cols == nil {
+		for ci := range cs.cols {
+			vals, err := cs.gatherCol(&st.cols[ci], ci, b, &st.sv)
+			if err != nil {
+				return nil, nil, err
+			}
+			st.out[ci] = vals
+		}
+		return st.rows, st.out, nil
+	}
+	out = st.out[:len(q.Cols)]
+	for i, ci := range q.Cols {
 		vals, err := cs.gatherCol(&st.cols[ci], ci, b, &st.sv)
 		if err != nil {
 			return nil, nil, err
 		}
-		st.out[ci] = vals
+		out[i] = vals
 	}
-	return st.rows, st.out, nil
+	return st.rows, out, nil
 }
 
-// ScanWhereAll scans the set with a conjunction of range predicates
-// evaluated below decompression, invoking fn once per block that contains
-// at least one surviving row with the global row numbers and, per column
-// of the set, the values of those rows (cols[i][j] is column i's value at
-// rows[j]). Blocks any predicate's zone map excludes are skipped unread;
-// inside a surviving block the most selective predicate (zone-map
-// estimate) builds the selection bitmap in the compressed code domain,
-// each further predicate refines it — groups the running bitmap has
-// emptied are never touched — and only rows passing every predicate are
-// materialized. The slices are reused between calls; fn must copy what it
-// keeps, and returning false stops the scan early. An empty preds slice
-// selects every row.
-//
-// A warmed sequential ScanWhereAll performs no heap allocation: the scan
-// holds one pooled state — per-column decode scratch, the bitmap, and the
-// output buffers — for its whole pass.
-func (cs *ColumnSet[T]) ScanWhereAll(preds []Pred[T], fn func(rows []int64, cols [][]T) bool, opts ...ScanOption) error {
-	return cs.scanWhereAll(context.Background(), parseScanOpts(opts), preds,
-		func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
-}
-
-// scanWhereAll is the sequential conjunctive scan loop, also the
-// one-worker degenerate case of ParallelScanWhereAll. ctx is consulted
-// once per block (see ScanWhereAllContext); context.Background() never
-// fires and costs one predictable branch.
-func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, cfg *scanConfig, preds []Pred[T], fn func(block int, rows []int64, cols [][]T) bool) error {
-	empty, err := cs.checkPreds(preds)
+// runSeq is the sequential scan loop shared by Run, ScanWhereAll and
+// their context variants — also the one-worker degenerate case of the
+// parallel form. ctx is consulted once per block (see ScanWhereAllContext);
+// context.Background() never fires and costs one predictable branch.
+func (cs *ColumnSet[T]) runSeq(ctx context.Context, cfg *scanConfig, q *Query[T], fn func(block int, rows []int64, cols [][]T) bool) error {
+	empty, err := cs.checkQuery(q)
 	if err != nil || empty {
 		return err
 	}
 	st := cs.getState()
 	defer cs.putState(st)
-	match := cs.zoneMatchAll(preds)
+	match := cs.queryMatch(q)
 	for b := range cs.cols[0].blocks {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -402,7 +452,7 @@ func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, cfg *scanConfig, preds
 		if !match(b) {
 			continue
 		}
-		rows, out, err := cs.blockWhereAll(st, b, preds)
+		rows, out, err := cs.blockQuery(st, b, q)
 		if err != nil {
 			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
 				continue
@@ -419,31 +469,20 @@ func (cs *ColumnSet[T]) scanWhereAll(ctx context.Context, cfg *scanConfig, preds
 	return nil
 }
 
-// ParallelScanWhereAll is ScanWhereAll across a block-granular worker
-// pool, with the delivery contract of the other parallel scans: fn
-// receives each surviving block's rows and column values exactly once,
-// never concurrently, unordered unless InOrder is given; fn returning
-// false (or an error) stops the scan. Blocks without surviving rows are
-// skipped without a delivery. Each worker owns one pooled scan state —
-// every column's decode scratch and bitmap — for the whole scan.
-func (cs *ColumnSet[T]) ParallelScanWhereAll(preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts ...ScanOption) error {
-	return cs.parallelScanWhereAll(context.Background(), preds, workers, fn, opts)
-}
-
-// parallelScanWhereAll is ParallelScanWhereAll with an explicit context,
-// checked once per block claim (see ParallelScanWhereAllContext).
-func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts []ScanOption) error {
-	empty, err := cs.checkPreds(preds)
+// runParallel is the block-parallel scan loop shared by Run and
+// ParallelScanWhereAll, with the delivery contract of the other parallel
+// scans: serialized, unordered unless configured otherwise.
+func (cs *ColumnSet[T]) runParallel(ctx context.Context, cfg *scanConfig, q *Query[T], workers int, fn func(block int, rows []int64, cols [][]T) bool) error {
+	empty, err := cs.checkQuery(q)
 	if err != nil || empty {
 		return err
 	}
-	cfg := parseScanOpts(opts)
-	seq := func() error { return cs.scanWhereAll(ctx, cfg, preds, fn) }
+	seq := func() error { return cs.runSeq(ctx, cfg, q, fn) }
 	work := func(st *setState[T], b int) (func() bool, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rows, out, err := cs.blockWhereAll(st, b, preds)
+		rows, out, err := cs.blockQuery(st, b, q)
 		if err != nil {
 			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
 				return nil, nil
@@ -455,34 +494,25 @@ func (cs *ColumnSet[T]) parallelScanWhereAll(ctx context.Context, preds []Pred[T
 		}
 		return func() bool { return fn(b, rows, out) }, nil
 	}
-	return parallelBlocksEngine(len(cs.cols[0].blocks), workers, cs.zoneMatchAll(preds), cfg,
+	return parallelBlocksEngine(len(cs.cols[0].blocks), workers, cs.queryMatch(q), cfg,
 		seq, cs.getState, cs.putState, work)
 }
 
-// AggregateWhereAll computes Count, Sum, Min and Max over column col's
-// values at the rows matching every predicate. The bitmap composes
-// exactly as in ScanWhereAll; only the target column's surviving rows are
-// then decoded, into a reusable buffer, so the aggregate never
-// materializes a non-matching value. An empty preds slice aggregates the
-// whole column; a trivially empty conjunction yields Count == 0.
-func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int, opts ...ScanOption) (Aggregate[T], error) {
-	return cs.aggregateWhereAll(context.Background(), parseScanOpts(opts), preds, col)
-}
-
-// aggregateWhereAll is AggregateWhereAll with an explicit context, checked
-// once per block (see AggregateWhereAllContext).
-func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, cfg *scanConfig, preds []Pred[T], col int) (Aggregate[T], error) {
+// runAggregate is the aggregate loop shared by RunAggregate and
+// AggregateWhereAll: bitmap composition per block, then a fold over just
+// the target column's survivors.
+func (cs *ColumnSet[T]) runAggregate(ctx context.Context, cfg *scanConfig, q *Query[T], col int) (Aggregate[T], error) {
 	var agg Aggregate[T]
 	if col < 0 || col >= len(cs.cols) {
 		return agg, fmt.Errorf("%w: aggregate column %d not in [0,%d)", ErrIndexOutOfRange, col, len(cs.cols))
 	}
-	empty, err := cs.checkPreds(preds)
+	empty, err := cs.checkQuery(q)
 	if err != nil || empty {
 		return agg, err
 	}
 	st := cs.getState()
 	defer cs.putState(st)
-	match := cs.zoneMatchAll(preds)
+	match := cs.queryMatch(q)
 	for b := range cs.cols[0].blocks {
 		if err := ctx.Err(); err != nil {
 			return Aggregate[T]{}, err
@@ -490,7 +520,7 @@ func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, cfg *scanConfig, 
 		if !match(b) {
 			continue
 		}
-		any, err := cs.blockMask(st, b, preds)
+		any, err := cs.blockMaskQuery(st, b, q)
 		if err != nil {
 			if cfg.skipBlock(int(cs.cols[0].blocks[b].count), err) {
 				continue
@@ -523,6 +553,57 @@ func (cs *ColumnSet[T]) aggregateWhereAll(ctx context.Context, cfg *scanConfig, 
 		}
 	}
 	return agg, nil
+}
+
+// ScanWhereAll scans the set with a conjunction of range predicates
+// evaluated below decompression, invoking fn once per block that contains
+// at least one surviving row with the global row numbers and, per column
+// of the set, the values of those rows (cols[i][j] is column i's value at
+// rows[j]). Blocks any predicate's zone map excludes are skipped unread;
+// inside a surviving block the most selective predicate (zone-map
+// estimate) builds the selection bitmap in the compressed code domain,
+// each further predicate refines it — groups the running bitmap has
+// emptied are never touched — and only rows passing every predicate are
+// materialized. The slices are reused between calls; fn must copy what it
+// keeps, and returning false stops the scan early. An empty preds slice
+// selects every row.
+//
+// ScanWhereAll is a thin wrapper over the Run machinery, kept for
+// callers of the original conjunction-only API: it is exactly
+// Run(ctx, Query{Preds: preds}, ...) without the block index.
+//
+// A warmed sequential ScanWhereAll performs no heap allocation: the scan
+// holds one pooled state — per-column decode scratch, the bitmap, and the
+// output buffers — for its whole pass.
+func (cs *ColumnSet[T]) ScanWhereAll(preds []Pred[T], fn func(rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	q := Query[T]{Preds: preds}
+	return cs.runSeq(context.Background(), parseScanOpts(opts), &q,
+		func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+}
+
+// ParallelScanWhereAll is ScanWhereAll across a block-granular worker
+// pool, with the delivery contract of the other parallel scans: fn
+// receives each surviving block's rows and column values exactly once,
+// never concurrently, unordered unless InOrder is given; fn returning
+// false (or an error) stops the scan. Blocks without surviving rows are
+// skipped without a delivery. Each worker owns one pooled scan state —
+// every column's decode scratch and bitmap — for the whole scan. It is a
+// thin wrapper over Run with Query.Workers set.
+func (cs *ColumnSet[T]) ParallelScanWhereAll(preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts ...ScanOption) error {
+	q := Query[T]{Preds: preds}
+	return cs.runParallel(context.Background(), parseScanOpts(opts), &q, workers, fn)
+}
+
+// AggregateWhereAll computes Count, Sum, Min and Max over column col's
+// values at the rows matching every predicate. The bitmap composes
+// exactly as in ScanWhereAll; only the target column's surviving rows are
+// then decoded, into a reusable buffer, so the aggregate never
+// materializes a non-matching value. An empty preds slice aggregates the
+// whole column; a trivially empty conjunction yields Count == 0. It is a
+// thin wrapper over RunAggregate with Query{Preds: preds}.
+func (cs *ColumnSet[T]) AggregateWhereAll(preds []Pred[T], col int, opts ...ScanOption) (Aggregate[T], error) {
+	q := Query[T]{Preds: preds}
+	return cs.runAggregate(context.Background(), parseScanOpts(opts), &q, col)
 }
 
 // gatherBlockCol is gatherCol behind the crafted-frame panic guard (the

@@ -22,7 +22,8 @@ import "context"
 // stopped by fn returning false still returns nil; a scan stopped by the
 // context returns context.Canceled or context.DeadlineExceeded.
 func (cs *ColumnSet[T]) ScanWhereAllContext(ctx context.Context, preds []Pred[T], fn func(rows []int64, cols [][]T) bool, opts ...ScanOption) error {
-	return cs.scanWhereAll(ctx, parseScanOpts(opts), preds, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
+	q := Query[T]{Preds: preds}
+	return cs.runSeq(ctx, parseScanOpts(opts), &q, func(_ int, rows []int64, cols [][]T) bool { return fn(rows, cols) })
 }
 
 // ParallelScanWhereAllContext is ParallelScanWhereAll under a context:
@@ -31,12 +32,14 @@ func (cs *ColumnSet[T]) ScanWhereAllContext(ctx context.Context, preds []Pred[T]
 // error, cancellation surfaces after the pool drains — bounded by the
 // blocks already being decoded, never by blocks not yet claimed.
 func (cs *ColumnSet[T]) ParallelScanWhereAllContext(ctx context.Context, preds []Pred[T], workers int, fn func(block int, rows []int64, cols [][]T) bool, opts ...ScanOption) error {
-	return cs.parallelScanWhereAll(ctx, preds, workers, fn, opts)
+	q := Query[T]{Preds: preds}
+	return cs.runParallel(ctx, parseScanOpts(opts), &q, workers, fn)
 }
 
 // AggregateWhereAllContext is AggregateWhereAll under a context: the fold
 // stops at the next block boundary once ctx is done and returns a zero
 // Aggregate with ctx.Err().
 func (cs *ColumnSet[T]) AggregateWhereAllContext(ctx context.Context, preds []Pred[T], col int, opts ...ScanOption) (Aggregate[T], error) {
-	return cs.aggregateWhereAll(ctx, parseScanOpts(opts), preds, col)
+	q := Query[T]{Preds: preds}
+	return cs.runAggregate(ctx, parseScanOpts(opts), &q, col)
 }

@@ -76,6 +76,34 @@
 // with the ParallelScan delivery contract. Warmed sequential conjunctive
 // scans allocate nothing.
 //
+// # Expression queries, grouping and joins
+//
+// Query[T] is the one-struct form of every ColumnSet scan — predicate
+// (conjunction and/or expression tree), output columns, parallelism,
+// ordering and degraded-mode options — executed by Run and
+// RunAggregate; the ScanWhereAll-family entrypoints are thin wrappers
+// over it, so existing []Pred call sites are unchanged. Expr generalizes
+// the conjunction to an AND/OR tree of Range and In leaves (built with
+// And, Or, Range, In), evaluated entirely at the selection-bitmap
+// level: a disjunction is one word-wise union per 32 rows, AND branches
+// prune at block granularity when any child's zone map excludes the
+// block, OR branches only when every child's does, and nothing outside
+// the final bitmap is ever decoded into a value. Inside an AND,
+// children still run most-selective-first by zone-map estimate.
+//
+// On top of the expression scan sit three result-shaped operators.
+// Project materializes the selected rows of chosen columns in one pass
+// (the collecting form of Run). GroupAggregate groups in code space:
+// on PDICT blocks the dictionary codes are the group keys, so each
+// block contributes per-code accumulators and the dictionary is decoded
+// once per block rather than once per row; results arrive sorted on the
+// decoded key values. BuildJoin/JoinOn hash-join the selected rows of a
+// probe column against a build-side key set — on PDICT blocks the hash
+// table is probed once per dictionary entry, not once per row. All
+// three accept the usual scan options (SkipCorrupt, ...), and
+// FuzzExprScan differentially fuzzes the expression path against a
+// scalar oracle.
+//
 // Unlike the internal packages, nothing here panics on bad input: invalid
 // parameters and corrupt or truncated bytes surface as typed errors
 // (ErrWidthOutOfRange, ErrBlockTooLarge, ErrCorruptSegment, ...).

@@ -1,0 +1,345 @@
+package zukowski
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Predicate expression trees: the disjunctive generalization of the
+// []Pred conjunction. An Expr is an AND/OR tree over range and membership
+// leaves, evaluated entirely at the selection-bitmap level — each leaf
+// produces, refines or unions a per-block bitmap with the compressed-
+// domain mask kernels (DecompressMask / RefineMask / UnionMask), so a
+// disjunction composes with one OR per 32 rows and nothing outside the
+// final bitmap is ever decoded into a value.
+//
+// Evaluation order inside an AND node is most-selective-first by zone-map
+// estimate, exactly like the []Pred path, and whole branches prune at
+// block granularity: an AND branch is skipped when any child's zone map
+// excludes the block, an OR branch only when every child's does.
+
+type exprOp uint8
+
+const (
+	opNone exprOp = iota // zero Expr: selects every row
+	opRange
+	opIn
+	opAnd
+	opOr
+)
+
+// Expr is a predicate over the columns of a ColumnSet: an AND/OR tree of
+// inclusive range and membership tests, built with And, Or, Range and In.
+// The zero Expr selects every row — a Query without a predicate. Exprs
+// are immutable values; sharing subtrees between queries is safe.
+type Expr[T Integer] struct {
+	op     exprOp
+	col    int
+	lo, hi T
+	vals   []T
+	kids   []Expr[T]
+}
+
+// Range selects the rows whose value in column col lies in the inclusive
+// range [lo, hi]. A Range with lo > hi selects nothing. The []Pred form
+// {Col, Lo, Hi} is exactly And(Range(Col, Lo, Hi), ...).
+func Range[T Integer](col int, lo, hi T) Expr[T] {
+	return Expr[T]{op: opRange, col: col, lo: lo, hi: hi}
+}
+
+// In selects the rows whose value in column col equals one of vals — the
+// membership test, evaluated as a union of point ranges. An In with no
+// values selects nothing. The values slice is retained; don't mutate it.
+func In[T Integer](col int, vals ...T) Expr[T] {
+	return Expr[T]{op: opIn, col: col, vals: vals}
+}
+
+// And selects the rows every child selects. And() with no children
+// selects everything (the identity of conjunction).
+func And[T Integer](kids ...Expr[T]) Expr[T] {
+	return Expr[T]{op: opAnd, kids: kids}
+}
+
+// Or selects the rows any child selects. Or() with no children selects
+// nothing (the identity of disjunction).
+func Or[T Integer](kids ...Expr[T]) Expr[T] {
+	return Expr[T]{op: opOr, kids: kids}
+}
+
+// isZero reports whether e is the zero Expr (select everything).
+func (e *Expr[T]) isZero() bool { return e.op == opNone }
+
+// check validates every column reference in the tree.
+func (e *Expr[T]) check(ncols int) error {
+	switch e.op {
+	case opNone:
+		return nil
+	case opRange, opIn:
+		if e.col < 0 || e.col >= ncols {
+			return fmt.Errorf("%w: expression column %d not in [0,%d)", ErrIndexOutOfRange, e.col, ncols)
+		}
+		return nil
+	default:
+		for i := range e.kids {
+			if err := e.kids[i].check(ncols); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// exprExcludes reports whether block b's zone maps prove e selects no row
+// of the block. An AND branch is excluded as soon as one child is — this
+// is the whole-branch pruning of the block match predicate — while an OR
+// branch needs every child excluded.
+func (cs *ColumnSet[T]) exprExcludes(e *Expr[T], b int) bool {
+	switch e.op {
+	case opRange:
+		return e.lo > e.hi || cs.cols[e.col].blockExcludes(b, e.lo, e.hi)
+	case opIn:
+		for _, v := range e.vals {
+			if !cs.cols[e.col].blockExcludes(b, v, v) {
+				return false
+			}
+		}
+		return true
+	case opAnd:
+		for i := range e.kids {
+			if cs.exprExcludes(&e.kids[i], b) {
+				return true
+			}
+		}
+		return false
+	case opOr:
+		for i := range e.kids {
+			if !cs.exprExcludes(&e.kids[i], b) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// exprEstimate estimates the fraction of block b's rows e selects, from
+// zone maps alone — the ordering heuristic for AND children. Estimates
+// compose conservatively: an AND is bounded by its most selective child,
+// an OR by the clamped sum of its children.
+func (cs *ColumnSet[T]) exprEstimate(e *Expr[T], b int) float64 {
+	switch e.op {
+	case opRange:
+		if e.lo > e.hi {
+			return 0
+		}
+		return cs.cols[e.col].predEstimate(b, e.lo, e.hi)
+	case opIn:
+		sum := 0.0
+		for _, v := range e.vals {
+			sum += cs.cols[e.col].predEstimate(b, v, v)
+		}
+		return min(sum, 1)
+	case opAnd:
+		est := 1.0
+		for i := range e.kids {
+			est = min(est, cs.exprEstimate(&e.kids[i], b))
+		}
+		return est
+	case opOr:
+		sum := 0.0
+		for i := range e.kids {
+			sum += cs.exprEstimate(&e.kids[i], b)
+			if sum >= 1 {
+				return 1
+			}
+		}
+		return sum
+	default:
+		return 1
+	}
+}
+
+// Bitmap targeting modes of one evaluation step: build a fresh bitmap,
+// AND into the running bitmap, or OR into it.
+const (
+	maskFresh uint8 = iota
+	maskRefine
+	maskUnion
+)
+
+// pushSV borrows a scratch SelectionVector for a nested subtree; vectors
+// are pooled per depth in the scan state, so steady-state evaluation of a
+// fixed tree shape allocates nothing.
+func (st *setState[T]) pushSV() *core.SelectionVector {
+	if st.svDepth == len(st.svPool) {
+		st.svPool = append(st.svPool, new(core.SelectionVector))
+	}
+	sv := st.svPool[st.svDepth]
+	st.svDepth++
+	return sv
+}
+
+func (st *setState[T]) popSV() { st.svDepth-- }
+
+// evalExpr evaluates e over block b (n rows) into sv under the given
+// mode. Zone-excluded subtrees short-circuit: fresh evaluation resets the
+// bitmap, refinement clears it, union leaves it untouched.
+func (cs *ColumnSet[T]) evalExpr(st *setState[T], e *Expr[T], b, n int, sv *core.SelectionVector, mode uint8) error {
+	switch e.op {
+	case opNone:
+		switch mode {
+		case maskFresh, maskUnion:
+			sv.Fill(n)
+		}
+		return nil
+	case opRange:
+		return cs.maskCol(&st.cols[e.col], e.col, b, e.lo, e.hi, sv, mode)
+	case opIn:
+		return cs.evalIn(st, e, b, n, sv, mode)
+	case opAnd:
+		return cs.evalAnd(st, e, b, n, sv, mode)
+	case opOr:
+		return cs.evalOr(st, e, b, n, sv, mode)
+	default:
+		return fmt.Errorf("%w: unknown expression node", ErrIndexOutOfRange)
+	}
+}
+
+// evalIn evaluates a membership leaf: a union of point ranges over one
+// column. Refinement builds the union in a scratch vector first — point
+// ranges cannot refine in place without losing rows matched by an
+// earlier point.
+func (cs *ColumnSet[T]) evalIn(st *setState[T], e *Expr[T], b, n int, sv *core.SelectionVector, mode uint8) error {
+	switch mode {
+	case maskRefine:
+		tmp := st.pushSV()
+		defer st.popSV()
+		if err := cs.evalIn(st, e, b, n, tmp, maskFresh); err != nil {
+			return err
+		}
+		sv.And(tmp)
+		return nil
+	case maskFresh:
+		if len(e.vals) == 0 {
+			sv.Reset(n)
+			return nil
+		}
+		if err := cs.maskCol(&st.cols[e.col], e.col, b, e.vals[0], e.vals[0], sv, maskFresh); err != nil {
+			return err
+		}
+		for _, v := range e.vals[1:] {
+			if err := cs.maskCol(&st.cols[e.col], e.col, b, v, v, sv, maskUnion); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // maskUnion
+		for _, v := range e.vals {
+			if cs.cols[e.col].blockExcludes(b, v, v) {
+				continue
+			}
+			if err := cs.maskCol(&st.cols[e.col], e.col, b, v, v, sv, maskUnion); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// evalAnd evaluates a conjunction node: children run most-selective-first
+// by zone-map estimate (the first child fresh, the rest refining), and
+// composition stops the moment the bitmap empties. The greedy order pick
+// is O(kids²) without scratch — child counts are small. Union mode
+// builds the conjunction in a scratch vector and ORs it in.
+func (cs *ColumnSet[T]) evalAnd(st *setState[T], e *Expr[T], b, n int, sv *core.SelectionVector, mode uint8) error {
+	if mode == maskUnion {
+		tmp := st.pushSV()
+		defer st.popSV()
+		if err := cs.evalAnd(st, e, b, n, tmp, maskFresh); err != nil {
+			return err
+		}
+		sv.Or(tmp)
+		return nil
+	}
+	if cs.exprExcludes(e, b) {
+		switch mode {
+		case maskFresh:
+			sv.Reset(n)
+		case maskRefine:
+			sv.Reset(n)
+		}
+		return nil
+	}
+	if len(e.kids) == 0 {
+		if mode == maskFresh {
+			sv.Fill(n)
+		}
+		return nil
+	}
+	done := 0
+	var evaled uint64 // bitmask of evaluated children; kids are capped well below 64 in practice
+	if len(e.kids) > 64 {
+		return fmt.Errorf("%w: AND node with more than 64 children", ErrIndexOutOfRange)
+	}
+	for done < len(e.kids) {
+		pick, best := -1, 2.0
+		for i := range e.kids {
+			if evaled&(1<<uint(i)) != 0 {
+				continue
+			}
+			if est := cs.exprEstimate(&e.kids[i], b); est < best {
+				pick, best = i, est
+			}
+		}
+		m := maskRefine
+		if done == 0 && mode == maskFresh {
+			m = maskFresh
+		}
+		if err := cs.evalExpr(st, &e.kids[pick], b, n, sv, m); err != nil {
+			return err
+		}
+		evaled |= 1 << uint(pick)
+		done++
+		if !sv.Any() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// evalOr evaluates a disjunction node: zone-excluded branches contribute
+// nothing and are skipped, the first live branch establishes the bitmap
+// (fresh mode) and every further branch ORs in. Refinement builds the
+// disjunction in a scratch vector and ANDs it into the running bitmap.
+func (cs *ColumnSet[T]) evalOr(st *setState[T], e *Expr[T], b, n int, sv *core.SelectionVector, mode uint8) error {
+	if mode == maskRefine {
+		tmp := st.pushSV()
+		defer st.popSV()
+		if err := cs.evalOr(st, e, b, n, tmp, maskFresh); err != nil {
+			return err
+		}
+		sv.And(tmp)
+		return nil
+	}
+	first := mode == maskFresh
+	for i := range e.kids {
+		if cs.exprExcludes(&e.kids[i], b) {
+			continue
+		}
+		m := maskUnion
+		if first {
+			m = maskFresh
+			first = false
+		}
+		if err := cs.evalExpr(st, &e.kids[i], b, n, sv, m); err != nil {
+			return err
+		}
+	}
+	if first && mode == maskFresh {
+		// No live branch: the disjunction selects nothing in this block.
+		sv.Reset(n)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package zukowski_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"slices"
+	"testing"
+
+	"repro/zukowski"
+)
+
+// fuzzNode is the fuzzer's own expression representation, built from the
+// fuzz byte stream and lowered to both a zukowski.Expr and a per-row
+// oracle — the two must agree exactly on every dataset.
+type fuzzNode struct {
+	op   byte // 0 range, 1 in, 2 and, 3 or
+	col  int
+	lo   int64
+	hi   int64
+	vals []int64
+	kids []fuzzNode
+}
+
+// fuzzByteReader doles out tree-shape bytes, repeating the last stretch
+// when the stream runs dry so every input terminates.
+type fuzzByteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzByteReader) next() byte {
+	if len(r.data) == 0 {
+		return 0
+	}
+	b := r.data[r.pos%len(r.data)]
+	r.pos++
+	return b
+}
+
+// genNode builds a random tree of bounded depth. Leaf windows come from
+// the column's own quantiles so predicates hit real data, with the
+// occasional inverted or out-of-domain window kept on purpose.
+func genNode(r *fuzzByteReader, cols [][]int64, depth int) fuzzNode {
+	op := r.next() % 4
+	if depth >= 3 || r.pos > 64 {
+		op %= 2 // force a leaf
+	}
+	ci := int(r.next()) % len(cols)
+	quantile := func(sel byte) int64 {
+		vals := cols[ci]
+		if len(vals) == 0 {
+			return int64(sel)
+		}
+		sorted := slices.Clone(vals)
+		slices.Sort(sorted)
+		return sorted[int(sel)*len(sorted)/256]
+	}
+	switch op {
+	case 0:
+		lo, hi := quantile(r.next()), quantile(r.next())
+		if r.next()%8 == 0 {
+			lo, hi = hi+1, lo-1 // sometimes inverted/empty
+		}
+		return fuzzNode{op: 0, col: ci, lo: lo, hi: hi}
+	case 1:
+		n := int(r.next()) % 5
+		vals := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			vals = append(vals, quantile(r.next()))
+		}
+		return fuzzNode{op: 1, col: ci, vals: vals}
+	default:
+		n := int(r.next())%3 + 1
+		kids := make([]fuzzNode, 0, n)
+		for i := 0; i < n; i++ {
+			kids = append(kids, genNode(r, cols, depth+1))
+		}
+		return fuzzNode{op: op, kids: kids}
+	}
+}
+
+func (n *fuzzNode) expr() zukowski.Expr[int64] {
+	switch n.op {
+	case 0:
+		return zukowski.Range[int64](n.col, n.lo, n.hi)
+	case 1:
+		return zukowski.In[int64](n.col, n.vals...)
+	default:
+		kids := make([]zukowski.Expr[int64], len(n.kids))
+		for i := range n.kids {
+			kids[i] = n.kids[i].expr()
+		}
+		if n.op == 2 {
+			return zukowski.And(kids...)
+		}
+		return zukowski.Or(kids...)
+	}
+}
+
+func (n *fuzzNode) eval(cols [][]int64, i int) bool {
+	switch n.op {
+	case 0:
+		v := cols[n.col][i]
+		return v >= n.lo && v <= n.hi
+	case 1:
+		for _, w := range n.vals {
+			if cols[n.col][i] == w {
+				return true
+			}
+		}
+		return false
+	case 2:
+		for k := range n.kids {
+			if !n.kids[k].eval(cols, i) {
+				return false
+			}
+		}
+		return true
+	default:
+		for k := range n.kids {
+			if n.kids[k].eval(cols, i) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// FuzzExprScan is the differential fuzzer of the expression scan: random
+// AND/OR/In/Range trees over two or three columns of fuzzed codecs must
+// agree exactly with the decode-then-filter oracle through Run (fresh
+// and preds-refined paths), RunAggregate and Project.
+func FuzzExprScan(f *testing.F) {
+	f.Add([]byte{}, []byte{0}, uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, []byte{3, 0, 1, 2, 9, 4}, uint8(1), uint8(2), uint8(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{7, 9}, 40), []byte{2, 2, 0, 0, 10, 20, 1, 1, 3}, uint8(4), uint8(0), uint8(2), uint8(5))
+	f.Add(binary.LittleEndian.AppendUint64(nil, 1<<40), []byte{3, 1, 5, 0, 128, 255, 2}, uint8(2), uint8(3), uint8(1), uint8(0))
+
+	names := zukowski.Codecs()
+	f.Fuzz(func(t *testing.T, data, tree []byte, codecA, codecB, codecC, blockSel uint8) {
+		var valsA []int64
+		for chunk := data; len(chunk) > 0; {
+			var tail [8]byte
+			n := copy(tail[:], chunk)
+			valsA = append(valsA, int64(uint32(binary.LittleEndian.Uint64(tail[:]))))
+			chunk = chunk[n:]
+		}
+		if len(valsA) == 0 {
+			t.Skip()
+		}
+		ncols := 2 + int(blockSel)%2
+		cols := make([][]int64, ncols)
+		cols[0] = valsA
+		for c := 1; c < ncols; c++ {
+			cols[c] = make([]int64, len(valsA))
+			for i := range cols[c] {
+				j := (i*7 + c) % len(valsA)
+				cols[c][i] = valsA[j]%97*int64(c+2) + int64(i%11)
+			}
+		}
+
+		blockValues := 64 + int(blockSel)*97
+		codecSel := []uint8{codecA, codecB, codecC}
+		crs := make([]*zukowski.ColumnReader[int64], ncols)
+		for c := range crs {
+			name := names[int(codecSel[c])%len(names)]
+			codec, err := zukowski.Lookup[int64](name)
+			if err != nil {
+				t.Skip()
+			}
+			var buf bytes.Buffer
+			cw, err := zukowski.NewColumnWriter[int64](&buf, codec, blockValues)
+			if err != nil {
+				t.Fatalf("NewColumnWriter: %v", err)
+			}
+			if err := cw.Write(cols[c]); err != nil {
+				if errors.Is(err, zukowski.ErrWidthOutOfRange) || errors.Is(err, zukowski.ErrValueOutOfRange) {
+					t.Skip()
+				}
+				t.Fatalf("Write: %v", err)
+			}
+			if err := cw.Close(); err != nil {
+				if errors.Is(err, zukowski.ErrWidthOutOfRange) || errors.Is(err, zukowski.ErrValueOutOfRange) {
+					t.Skip()
+				}
+				t.Fatalf("Close: %v", err)
+			}
+			if crs[c], err = zukowski.OpenColumn[int64](buf.Bytes()); err != nil {
+				t.Fatalf("OpenColumn: %v", err)
+			}
+		}
+		cs, err := zukowski.NewColumnSet(crs...)
+		if err != nil {
+			t.Fatalf("NewColumnSet: %v", err)
+		}
+
+		node := genNode(&fuzzByteReader{data: tree}, cols, 0)
+		expr := node.expr()
+
+		var wantRows []int64
+		wantVals := make([][]int64, ncols)
+		for i := range cols[0] {
+			if !node.eval(cols, i) {
+				continue
+			}
+			wantRows = append(wantRows, int64(i))
+			for c := range cols {
+				wantVals[c] = append(wantVals[c], cols[c][i])
+			}
+		}
+
+		var gotRows []int64
+		gotVals := make([][]int64, ncols)
+		err = cs.Run(t.Context(), zukowski.Query[int64]{Expr: expr}, func(_ int, r []int64, bc [][]int64) bool {
+			gotRows = append(gotRows, r...)
+			for c := range bc {
+				gotVals[c] = append(gotVals[c], bc[c]...)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !slices.Equal(gotRows, wantRows) {
+			t.Fatalf("Run disagrees with oracle: got %d rows, want %d", len(gotRows), len(wantRows))
+		}
+		for c := range gotVals {
+			if !slices.Equal(gotVals[c], wantVals[c]) {
+				t.Fatalf("Run column %d values disagree with oracle", c)
+			}
+		}
+
+		// The refine path: the same expression under an all-covering pred.
+		gotRows = gotRows[:0]
+		q := zukowski.Query[int64]{
+			Preds: []zukowski.Pred[int64]{{Col: 0, Lo: slices.Min(cols[0]), Hi: slices.Max(cols[0])}},
+			Expr:  expr,
+		}
+		if err := cs.Run(t.Context(), q, func(_ int, r []int64, _ [][]int64) bool {
+			gotRows = append(gotRows, r...)
+			return true
+		}); err != nil {
+			t.Fatalf("Run (preds+expr): %v", err)
+		}
+		if !slices.Equal(gotRows, wantRows) {
+			t.Fatal("preds-refined Run disagrees with oracle")
+		}
+
+		agg, err := cs.RunAggregate(t.Context(), zukowski.Query[int64]{Expr: expr}, ncols-1)
+		if err != nil {
+			t.Fatalf("RunAggregate: %v", err)
+		}
+		var want zukowski.Aggregate[int64]
+		for _, v := range wantVals[ncols-1] {
+			if want.Count == 0 {
+				want.Min, want.Max = v, v
+			} else {
+				want.Min, want.Max = min(want.Min, v), max(want.Max, v)
+			}
+			want.Count++
+			want.Sum += v
+		}
+		if agg != want {
+			t.Fatalf("RunAggregate = %+v, want %+v", agg, want)
+		}
+	})
+}
